@@ -1,0 +1,17 @@
+"""Benchmark E10 — competitiveness of the base oblivious routings."""
+
+from conftest import run_once
+
+from repro.experiments import exp_oblivious_baselines
+
+
+def test_bench_e10_oblivious_baselines(benchmark, small_config):
+    result = run_once(benchmark, exp_oblivious_baselines.run, small_config)
+    rows = result.tables["oblivious_baselines"]
+    assert rows
+    print()
+    print(result.render())
+    # The sampling sources used by the other experiments must be reasonably good.
+    for row in rows:
+        if row["scheme"] in {"valiant", "raecke-trees", "electrical"}:
+            assert row["worst_ratio"] <= 0.75 * row["n"]

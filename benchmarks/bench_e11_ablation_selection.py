@@ -1,0 +1,19 @@
+"""Benchmark E11 — ablation of the candidate-path selection rule."""
+
+from conftest import run_once
+
+from repro.experiments import exp_ablation_selection
+
+
+def test_bench_e11_ablation_selection(benchmark, small_config):
+    result = run_once(benchmark, exp_ablation_selection.run, small_config)
+    rows = result.tables["selection_ablation"]
+    assert rows
+    print()
+    print(result.render())
+    # At equal sparsity every rule stays within a small factor of optimal on these
+    # benign demands; the interesting ordering (random-sample best) is a trend over
+    # many seeds, so here we only assert sanity bounds.
+    for row in rows:
+        assert row["mean_ratio"] >= 1.0 - 1e-6
+        assert row["sparsity"] <= row["alpha"]

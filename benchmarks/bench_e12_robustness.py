@@ -1,0 +1,19 @@
+"""Benchmark E12 — link-failure robustness of sampled candidate paths."""
+
+from conftest import run_once
+
+from repro.experiments import exp_robustness
+
+
+def test_bench_e12_robustness(benchmark, small_config):
+    result = run_once(benchmark, exp_robustness.run, small_config)
+    rows = result.tables["failure_robustness"]
+    assert rows
+    print()
+    print(result.render())
+    by_scheme = {row["scheme"]: row for row in rows}
+    # Sampled candidate sets keep at least as much coverage as single shortest paths.
+    assert (
+        by_scheme["semi-oblivious-sample"]["mean_coverage"]
+        >= by_scheme["spf"]["mean_coverage"] - 1e-9
+    )

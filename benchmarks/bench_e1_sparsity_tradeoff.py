@@ -1,0 +1,17 @@
+"""Benchmark E1 — sparsity-competitiveness trade-off (Theorem 2.5)."""
+
+from conftest import run_once
+
+from repro.experiments import exp_sparsity_tradeoff
+
+
+def test_bench_e1_sparsity_tradeoff(benchmark, small_config):
+    result = run_once(benchmark, exp_sparsity_tradeoff.run, small_config)
+    rows = result.tables["sparsity_tradeoff"]
+    assert rows
+    print()
+    print(result.render())
+    # Headline shape: on each graph, the largest alpha is at least as good as alpha = 1.
+    for graph in {row["graph"] for row in rows}:
+        graph_rows = sorted((r for r in rows if r["graph"] == graph), key=lambda r: r["alpha"])
+        assert graph_rows[-1]["worst_ratio"] <= graph_rows[0]["worst_ratio"] + 1e-6

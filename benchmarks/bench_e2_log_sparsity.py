@@ -1,0 +1,16 @@
+"""Benchmark E2 — logarithmic sparsity suffices (Theorem 2.3)."""
+
+from conftest import run_once
+
+from repro.experiments import exp_log_sparsity
+
+
+def test_bench_e2_log_sparsity(benchmark, small_config):
+    result = run_once(benchmark, exp_log_sparsity.run, small_config)
+    rows = result.tables["log_sparsity"]
+    assert rows
+    print()
+    print(result.render())
+    # Headline shape: worst ratios stay bounded (well under n) at log sparsity.
+    for row in rows:
+        assert row["worst_ratio"] <= row["n"]

@@ -1,0 +1,19 @@
+"""Benchmark E3 — the C(n, k) lower bound and Figure 1 (Lemma 8.1, Cor. 8.3)."""
+
+from conftest import run_once
+
+from repro.experiments import exp_lower_bound
+
+
+def test_bench_e3_lower_bound(benchmark, small_config):
+    result = run_once(benchmark, exp_lower_bound.run, small_config)
+    print()
+    print(result.render())
+    for row in result.tables["lower_bound"]:
+        # Measured congestion of any routing on the sparse system must exceed the
+        # pigeonhole guarantee while the offline optimum is 1 (Lemma 8.1).
+        assert row["measured_congestion"] >= row["guaranteed_bound"] - 1e-6
+        assert row["offline_optimum"] <= 1.0 + 1e-6
+    structure = result.tables["figure1_structure"][0]
+    assert structure["vertices"] == structure["expected_vertices"]
+    assert structure["edges"] == structure["expected_edges"]

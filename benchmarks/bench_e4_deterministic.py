@@ -1,0 +1,20 @@
+"""Benchmark E4 — deterministic single path vs few sampled paths on hypercubes."""
+
+from conftest import run_once
+
+from repro.experiments import exp_deterministic
+
+
+def test_bench_e4_deterministic(benchmark, small_config):
+    result = run_once(benchmark, exp_deterministic.run, small_config)
+    rows = result.tables["deterministic_vs_sampled"]
+    assert rows
+    print()
+    print(result.render())
+    import math
+
+    for row in rows:
+        # With Theta(log n) sampled paths the ratio stays polylogarithmic; the
+        # sqrt(n) separation from the single deterministic path emerges at the
+        # larger "paper"-scale dimensions (see EXPERIMENTS.md).
+        assert row["sampled_ratio"] <= 2.0 * math.log2(row["n"]) + 1e-6

@@ -1,0 +1,17 @@
+"""Benchmark E5 — the weak-routing deletion process (Lemma 5.6)."""
+
+from conftest import run_once
+
+from repro.experiments import exp_weak_routing
+
+
+def test_bench_e5_weak_routing(benchmark, small_config):
+    result = run_once(benchmark, exp_weak_routing.run, small_config)
+    rows = result.tables["weak_routing"]
+    assert rows
+    print()
+    print(result.render())
+    # At the most generous allowance the process should route (nearly) everything.
+    most_generous = max(rows, key=lambda row: row["gamma_over_opt"])
+    assert most_generous["mean_fraction_routed"] >= 0.5
+    assert most_generous["empirical_failure_rate"] <= 0.5

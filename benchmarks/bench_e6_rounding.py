@@ -1,0 +1,16 @@
+"""Benchmark E6 — randomized rounding (Lemma 6.3)."""
+
+from conftest import run_once
+
+from repro.experiments import exp_rounding
+
+
+def test_bench_e6_rounding(benchmark, small_config):
+    result = run_once(benchmark, exp_rounding.run, small_config)
+    rows = result.tables["rounding"]
+    assert rows
+    print()
+    print(result.render())
+    for row in rows:
+        assert row["integral"] <= row["bound"] + 1e-6
+        assert row["integral"] >= row["fractional"] - 1e-6

@@ -1,0 +1,17 @@
+"""Benchmark E7 — completion-time semi-oblivious routing (Section 7)."""
+
+from conftest import run_once
+
+from repro.experiments import exp_completion_time
+
+
+def test_bench_e7_completion_time(benchmark, small_config):
+    result = run_once(benchmark, exp_completion_time.run, small_config)
+    rows = result.tables["completion_time"]
+    assert rows
+    print()
+    print(result.render())
+    for row in rows:
+        # The multi-scale hop-constrained sample stays completion-time competitive.
+        assert row["hop_sample_ratio"] <= 10.0
+        assert row["hop_sample_sparsity"] >= row["alpha"]

@@ -1,0 +1,17 @@
+"""Benchmark E8 — SMORE-style traffic engineering (Section 1.1 consequence)."""
+
+from conftest import run_once
+
+from repro.experiments import exp_smore_te
+
+
+def test_bench_e8_smore_te(benchmark, small_config):
+    result = run_once(benchmark, exp_smore_te.run, small_config)
+    rows = result.tables["te_utilization_ratios"]
+    assert rows
+    print()
+    print(result.render())
+    by_scheme = {row["scheme"]: row for row in rows}
+    # Headline ordering: adaptive semi-oblivious beats fixed-split oblivious and spf.
+    assert by_scheme["semi-oblivious"]["mean_ratio"] <= by_scheme["oblivious"]["mean_ratio"] + 1e-6
+    assert by_scheme["semi-oblivious"]["mean_ratio"] <= by_scheme["spf"]["mean_ratio"] + 1e-6

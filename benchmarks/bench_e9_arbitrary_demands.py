@@ -1,0 +1,18 @@
+"""Benchmark E9 — arbitrary integral demands need (alpha + cut)-sparsity (Lemma 2.7)."""
+
+from conftest import run_once
+
+from repro.experiments import exp_arbitrary_demands
+
+
+def test_bench_e9_arbitrary_demands(benchmark, small_config):
+    result = run_once(benchmark, exp_arbitrary_demands.run, small_config)
+    print()
+    print(result.render())
+    necessity = result.tables["cut_sparsity_necessity"][0]
+    # The (alpha + cut)-sample must not be worse than the plain alpha-sample on the
+    # high-cut pair, and should be close to optimal.
+    assert necessity["cut_sample_ratio"] <= necessity["plain_sample_ratio"] + 1e-6
+    assert necessity["cut_sample_ratio"] <= 4.0
+    arbitrary = result.tables["arbitrary_integral"][0]
+    assert arbitrary["direct_ratio"] <= arbitrary["bucketed_ratio"] + 1e-6

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark wraps one experiment kernel from ``repro.experiments`` at
+the ``small`` scale (the ``paper`` scale numbers recorded in
+EXPERIMENTS.md are produced by running the same kernels with
+``ExperimentConfig(scale="paper")``).  Benchmarks execute a single round
+so that ``pytest benchmarks/ --benchmark-only`` regenerates every table
+quickly while still reporting wall-clock cost per experiment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import ExperimentConfig
+
+
+@pytest.fixture
+def small_config() -> ExperimentConfig:
+    return ExperimentConfig(seed=0, scale="small")
+
+
+def run_once(benchmark, runner, config):
+    """Run an experiment kernel exactly once under pytest-benchmark."""
+    return benchmark.pedantic(runner, args=(config,), rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Completion-time competitive semi-oblivious routing (Section 7).
+
+On a ring of cliques, minimizing congestion alone can send packets on long
+detours, hurting the completion time (congestion + dilation).  Sampling
+from hop-constrained oblivious routings at several geometric hop scales
+(the Lemma 2.8 construction) keeps both congestion and dilation small.
+
+Run with::
+
+    python examples/completion_time_demo.py [num_cliques] [clique_size]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.completion_time import (
+    MultiScaleHopSample,
+    best_completion_time_on_system,
+    completion_time_competitive_ratio,
+)
+from repro.core.sampling import alpha_sample
+from repro.demands import random_pairs_demand
+from repro.graphs import topologies
+from repro.oblivious import RaeckeTreeRouting
+from repro.utils.tables import Table
+
+
+def main(num_cliques: int = 5, clique_size: int = 4, alpha: int = 3, seed: int = 0) -> None:
+    network = topologies.ring_of_cliques(num_cliques, clique_size)
+    print(f"Topology: {network.name} (n={network.num_vertices}, diameter={network.diameter()})")
+
+    demand = random_pairs_demand(network, num_pairs=8, rng=seed)
+    print(f"Demand: {demand.support_size()} random unit pairs\n")
+
+    # Congestion-only candidate paths (sampled from the Raecke-style routing).
+    congestion_only = alpha_sample(
+        RaeckeTreeRouting(network, rng=seed), alpha, pairs=demand.pairs(), rng=seed
+    )
+    congestion_result = best_completion_time_on_system(congestion_only, demand)
+
+    # Multi-scale hop-constrained sample (Lemma 2.8).
+    hop_sample = MultiScaleHopSample.build(network, alpha=alpha, pairs=demand.pairs(), rng=seed)
+    hop_ratio, hop_result, baseline = completion_time_competitive_ratio(hop_sample, demand)
+
+    table = Table(
+        headers=["scheme", "congestion", "dilation", "completion time"],
+        title="Completion time = congestion + dilation",
+    )
+    table.add_row("congestion-optimal baseline (MCF routing)", baseline - 0, "-", baseline)
+    table.add_row(
+        f"congestion-only alpha={alpha} sample",
+        congestion_result.congestion,
+        congestion_result.dilation,
+        congestion_result.completion_time,
+    )
+    table.add_row(
+        f"multi-scale hop sample ({len(hop_sample.scales)} scales, sparsity {hop_sample.sparsity()})",
+        hop_result.congestion,
+        hop_result.dilation,
+        hop_result.completion_time,
+    )
+    print(table)
+    print(f"\nCompletion-time competitive ratio of the multi-scale sample: {hop_ratio:.2f}")
+    print("Sampling per hop scale bounds the dilation without giving up congestion — the "
+          "Section 7 extension via hop-constrained oblivious routings.")
+
+
+if __name__ == "__main__":
+    cliques = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    size = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    main(cliques, size)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Robustness of sampled candidate paths to link failures.
+
+SMORE's second argument for sampling candidate paths from an oblivious
+routing (besides near-optimal load) is robustness: the sampled paths are
+diverse, so when a link fails the sending rates can simply be shifted onto
+the surviving candidates — no forwarding-table updates needed.  This
+example sweeps single-link failures on an ISP-like topology and compares
+sampled candidates against k-shortest-paths and single-path routing.
+
+Run with::
+
+    python examples/failure_robustness.py [num_nodes] [alpha]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.path_system import PathSystem
+from repro.core.sampling import alpha_sample
+from repro.demands import gravity_demand
+from repro.graphs.generators import waxman_isp
+from repro.oblivious import KShortestPathRouting, RaeckeTreeRouting, ShortestPathRouting
+from repro.te import failure_sweep
+from repro.utils.tables import Table
+
+
+def structural_system(network, pairs, builder):
+    system = PathSystem(network)
+    for source, target in pairs:
+        system.add_paths(source, target, builder.pair_distribution(source, target).keys())
+    return system
+
+
+def main(num_nodes: int = 14, alpha: int = 4, seed: int = 0) -> None:
+    network = waxman_isp(num_nodes, rng=seed)
+    demand = gravity_demand(network, total=12.0, rng=seed + 1)
+    # Keep the heaviest pairs so the sweep stays quick.
+    cutoff = sorted((v for _, v in demand.items()), reverse=True)[: 4 * num_nodes][-1]
+    demand = demand.filtered(lambda pair, value: value >= cutoff)
+    pairs = demand.pairs()
+    print(f"Topology: {network.name} (n={network.num_vertices}, m={network.num_edges}); "
+          f"{len(pairs)} demanded pairs\n")
+
+    systems = {
+        f"semi-oblivious sample (alpha={alpha})": alpha_sample(
+            RaeckeTreeRouting(network, rng=seed + 2), alpha, pairs=pairs, rng=seed + 3
+        ),
+        f"k-shortest-paths (k={alpha})": structural_system(
+            network, pairs, KShortestPathRouting(network, k=alpha)
+        ),
+        "single shortest path": structural_system(network, pairs, ShortestPathRouting(network)),
+    }
+
+    table = Table(
+        headers=["scheme", "mean coverage", "failures with full coverage",
+                 "mean congestion ratio", "worst ratio"],
+        title="Single-link failure sweep (ratios vs the failed-network optimum)",
+    )
+    for name, system in systems.items():
+        summary = failure_sweep(system, demand)
+        table.add_row(
+            name,
+            summary.mean_coverage(),
+            summary.full_coverage_fraction(),
+            summary.mean_ratio() if summary.mean_ratio() is not None else "-",
+            summary.worst_ratio() if summary.worst_ratio() is not None else "-",
+        )
+    print(table)
+    print("\nDiverse sampled candidates keep (near-)full coverage and small congestion inflation "
+          "after failures; single-path routing loses entire pairs whenever its only path dies.")
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 14
+    a = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    main(n, a)

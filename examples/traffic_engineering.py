@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Traffic engineering with semi-oblivious routing (the SMORE scenario).
+
+The paper's motivating application ([KYY+18], Section 1.1): an ISP installs
+candidate paths once (slow forwarding-table updates) and re-optimizes the
+sending rates every few minutes as traffic matrices change.  This example
+replays a synthetic diurnal traffic day on a Waxman ISP-like topology and
+compares:
+
+* semi-oblivious (alpha = 4 sampled paths, adaptive rates) — the paper,
+* the base Raecke-style oblivious routing with fixed splits,
+* adaptive k-shortest-paths,
+* single shortest-path forwarding.
+
+Run with::
+
+    python examples/traffic_engineering.py [num_nodes] [snapshots]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.demands.traffic_matrix import diurnal_gravity_series
+from repro.graphs.generators import waxman_isp
+from repro.oblivious import RaeckeTreeRouting
+from repro.te import TrafficEngineeringSimulator
+from repro.utils.tables import Table
+
+
+def main(num_nodes: int = 16, snapshots: int = 6, alpha: int = 4, seed: int = 0) -> None:
+    network = waxman_isp(num_nodes, rng=seed)
+    print(f"Topology: {network.name} (n={network.num_vertices}, m={network.num_edges})")
+
+    series = diurnal_gravity_series(network, num_snapshots=snapshots, base_total=20.0, rng=seed + 1)
+    print(f"Traffic: {len(series)} gravity-model snapshots with diurnal modulation")
+
+    simulator = TrafficEngineeringSimulator(
+        network,
+        alpha=alpha,
+        oblivious=RaeckeTreeRouting(network, rng=seed + 2),
+        ksp_k=alpha,
+        rng=seed + 3,
+    )
+    simulator.install_paths()
+    print(f"Installed {simulator.semi_oblivious_system.num_paths()} semi-oblivious candidate "
+          f"paths once (alpha = {alpha}); only rates adapt per snapshot.\n")
+
+    report = simulator.simulate(series)
+
+    table = Table(
+        headers=["scheme", "mean ratio", "p90 ratio", "worst ratio"],
+        title="Max link utilization normalized by the per-snapshot optimal MCF",
+    )
+    for scheme in report.ranking():
+        result = report.results[scheme]
+        table.add_row(scheme, result.mean_ratio(), result.percentile_ratio(90), result.worst_ratio())
+    print(table)
+    print()
+    print("Semi-oblivious routing with a handful of sampled paths tracks the optimum closely "
+          "while needing no forwarding-table changes between snapshots; single-path routing "
+          "pays a large penalty — the SMORE observation the paper explains.")
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    s = int(sys.argv[2]) if len(sys.argv) > 2 else 6
+    main(n, s)

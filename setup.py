@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that editable installs keep working in offline environments whose
+setuptools lacks wheel support (``pip install -e . --no-build-isolation``
+falls back to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""repro — Sparse Semi-Oblivious Routing: Few Random Paths Suffice.
+
+A full reproduction of the PODC 2023 paper by Zuzic ® Haeupler ® Roeyskoe
+(arXiv:2301.06647): semi-oblivious routings built by sampling a few paths
+per vertex pair from a competitive oblivious routing, with demand-adaptive
+rate optimization, randomized rounding to integral routings, the
+completion-time extension, the lower-bound constructions, and a
+traffic-engineering simulator exercising the SMORE consequence.
+
+Quick start::
+
+    from repro import topologies, SemiObliviousRouting, RaeckeTreeRouting
+    from repro.demands import random_permutation_demand
+
+    net = topologies.hypercube(4)
+    router = SemiObliviousRouting.sample(
+        net, alpha=4, oblivious=RaeckeTreeRouting(net, rng=0), rng=0
+    )
+    demand = random_permutation_demand(net, rng=1)
+    report = router.evaluate(demand)
+    print(report.ratio)
+"""
+
+from repro.core import (
+    PathSystem,
+    Routing,
+    SemiObliviousRouting,
+    alpha_plus_cut_sample,
+    alpha_sample,
+    competitive_ratio,
+    evaluate_path_system,
+    optimal_rates,
+    randomized_rounding,
+)
+from repro.demands import Demand
+from repro.graphs import Network
+from repro.graphs import topologies
+from repro.mcf import min_congestion_lp, min_congestion_on_paths
+from repro.oblivious import (
+    ElectricalFlowRouting,
+    HopConstrainedRouting,
+    KShortestPathRouting,
+    RaeckeTreeRouting,
+    ShortestPathRouting,
+    ValiantHypercubeRouting,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Network",
+    "topologies",
+    "Demand",
+    "PathSystem",
+    "Routing",
+    "SemiObliviousRouting",
+    "alpha_sample",
+    "alpha_plus_cut_sample",
+    "optimal_rates",
+    "randomized_rounding",
+    "competitive_ratio",
+    "evaluate_path_system",
+    "min_congestion_lp",
+    "min_congestion_on_paths",
+    "RaeckeTreeRouting",
+    "ElectricalFlowRouting",
+    "ValiantHypercubeRouting",
+    "ShortestPathRouting",
+    "KShortestPathRouting",
+    "HopConstrainedRouting",
+]

@@ -1,0 +1,111 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands
+-----------
+
+``experiments``
+    Run one or more experiments from the registry and print their tables::
+
+        python -m repro experiments --scale small E1_sparsity_tradeoff E3_lower_bound
+        python -m repro experiments --scale paper            # all of them
+
+``list``
+    List the available experiment ids with one-line descriptions.
+
+``quickstart``
+    Run the quickstart pipeline on a hypercube (same as
+    ``examples/quickstart.py``) — useful as an installation check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments import REGISTRY
+from repro.experiments.harness import ExperimentConfig
+
+_DESCRIPTIONS = {
+    "E1_sparsity_tradeoff": "sparsity vs competitiveness sweep (Theorem 2.5)",
+    "E2_log_sparsity": "logarithmic sparsity suffices (Theorem 2.3)",
+    "E3_lower_bound": "C(n,k) lower bound and Figure 1 (Lemma 8.1)",
+    "E4_deterministic_hypercube": "deterministic single path vs sampled paths (KKT91)",
+    "E5_weak_routing_process": "the Lemma 5.6 deletion process",
+    "E6_rounding": "randomized rounding guarantee (Lemma 6.3)",
+    "E7_completion_time": "completion-time competitive sampling (Section 7)",
+    "E8_smore_te": "SMORE-style traffic engineering",
+    "E9_arbitrary_demands": "(alpha+cut)-sparsity for arbitrary demands (Lemma 2.7)",
+    "E10_oblivious_baselines": "quality of the oblivious sampling sources",
+    "E11_ablation_selection": "ablation of the path-selection rule",
+    "E12_robustness": "link-failure robustness of sampled candidate paths",
+}
+
+
+def _cmd_list() -> int:
+    for name in sorted(REGISTRY):
+        print(f"{name:30s} {_DESCRIPTIONS.get(name, '')}")
+    return 0
+
+
+def _cmd_experiments(ids: List[str], scale: str, seed: int) -> int:
+    chosen = ids or sorted(REGISTRY)
+    unknown = [name for name in chosen if name not in REGISTRY]
+    if unknown:
+        print(f"unknown experiment id(s): {unknown}", file=sys.stderr)
+        return 2
+    config = ExperimentConfig(seed=seed, scale=scale)
+    for name in chosen:
+        start = time.perf_counter()
+        result = REGISTRY[name](config)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"\n[{name} completed in {elapsed:.1f}s at scale={scale}]\n")
+    return 0
+
+
+def _cmd_quickstart(dimension: int, alpha: int) -> int:
+    from repro import SemiObliviousRouting, topologies
+    from repro.demands import random_permutation_demand
+    from repro.mcf import min_congestion_lp
+    from repro.oblivious import ValiantHypercubeRouting
+
+    network = topologies.hypercube(dimension)
+    oblivious = ValiantHypercubeRouting(network, dimension, rng=0)
+    router = SemiObliviousRouting.sample(network, alpha=alpha, oblivious=oblivious, rng=0)
+    demand = random_permutation_demand(network, rng=1)
+    achieved = router.congestion(demand)
+    optimum = min_congestion_lp(network, demand).congestion
+    print(f"{network.name}: alpha={alpha}, achieved={achieved:.3f}, "
+          f"optimum={optimum:.3f}, ratio={achieved / max(optimum, 1e-12):.3f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description="Sparse semi-oblivious routing reproduction")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    exp_parser = subparsers.add_parser("experiments", help="run experiments and print their tables")
+    exp_parser.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    exp_parser.add_argument("--scale", choices=("smoke", "small", "paper"), default="small")
+    exp_parser.add_argument("--seed", type=int, default=0)
+
+    quick_parser = subparsers.add_parser("quickstart", help="tiny end-to-end pipeline check")
+    quick_parser.add_argument("--dimension", type=int, default=3)
+    quick_parser.add_argument("--alpha", type=int, default=3)
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "experiments":
+        return _cmd_experiments(args.ids, args.scale, args.seed)
+    if args.command == "quickstart":
+        return _cmd_quickstart(args.dimension, args.alpha)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Theory-side utilities: concentration bounds, bad patterns, predicted curves."""
+
+from repro.analysis.concentration import (
+    chernoff_upper_tail,
+    chernoff_large_deviation,
+    negatively_associated_product_bound,
+    empirical_tail_probability,
+)
+from repro.analysis.bad_patterns import bad_pattern_count_bound, count_bad_patterns_exact
+from repro.analysis.theory import (
+    predicted_competitiveness,
+    predicted_lower_bound,
+    logarithmic_sparsity,
+    sparsity_tradeoff_curve,
+)
+
+__all__ = [
+    "chernoff_upper_tail",
+    "chernoff_large_deviation",
+    "negatively_associated_product_bound",
+    "empirical_tail_probability",
+    "bad_pattern_count_bound",
+    "count_bad_patterns_exact",
+    "predicted_competitiveness",
+    "predicted_lower_bound",
+    "logarithmic_sparsity",
+    "sparsity_tradeoff_curve",
+]

@@ -1,0 +1,86 @@
+"""Concentration bounds used by the paper's analysis (Appendix B).
+
+The proof of the Main Lemma relies on Chernoff bounds for sums of
+*negatively associated* 0/1 random variables (Lemmas B.5 and B.6) and on
+the product rule for lower-tail events on disjoint index sets (Lemma
+B.4).  The functions here implement those closed forms so that the
+experiment E5 can compare the measured failure rates of the weak-routing
+process against the analytical predictions, and so the rounding lemma's
+certified bound can be cross-checked numerically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def chernoff_upper_tail(mu: float, delta: float) -> float:
+    """Lemma B.6: ``P[X >= (1 + delta) mu] <= exp(-delta^2 mu / (2 + delta))``.
+
+    Valid for sums of negatively associated 0/1 variables with mean
+    ``mu`` and any ``delta > 0``.
+    """
+    if mu < 0:
+        raise ValueError("mu must be nonnegative")
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    if mu == 0:
+        return 0.0
+    return math.exp(-(delta**2) * mu / (2.0 + delta))
+
+
+def chernoff_large_deviation(mu: float, delta: float) -> float:
+    """Lemma B.5: ``P[X >= delta * mu] <= exp(-delta mu ln(delta) / 4)`` for delta >= 2.
+
+    This is the large-deviation form the low-sparsity case needs (the
+    extra ``ln(delta)`` is what buys the ``n^{O(1/alpha)}`` trade-off).
+    """
+    if mu < 0:
+        raise ValueError("mu must be nonnegative")
+    if delta < 2:
+        raise ValueError("the large-deviation bound requires delta >= 2")
+    if mu == 0:
+        return 0.0
+    return math.exp(-delta * mu * math.log(delta) / 4.0)
+
+
+def negatively_associated_product_bound(tail_probabilities: Iterable[float]) -> float:
+    """Lemma B.4: the probability that *all* lower-bound events on disjoint
+    index sets occur is at most the product of the individual probabilities."""
+    product = 1.0
+    for probability in tail_probabilities:
+        if not (0.0 <= probability <= 1.0):
+            raise ValueError("probabilities must lie in [0, 1]")
+        product *= probability
+    return product
+
+
+def empirical_tail_probability(samples: Sequence[float], threshold: float) -> float:
+    """Fraction of ``samples`` that are >= ``threshold`` (empirical tail)."""
+    samples = list(samples)
+    if not samples:
+        raise ValueError("need at least one sample")
+    return sum(1 for value in samples if value >= threshold) / len(samples)
+
+
+def union_bound(probabilities: Iterable[float]) -> float:
+    """The union bound, clipped to 1."""
+    return min(1.0, sum(probabilities))
+
+
+def main_lemma_failure_bound(num_edges: int, h: float, support_size: int) -> float:
+    """The Lemma 5.6 failure probability bound ``m^{-(h+3)|supp(d)|}``."""
+    if num_edges < 2 or support_size < 1 or h < 1:
+        raise ValueError("need m >= 2, |supp(d)| >= 1, h >= 1")
+    return float(num_edges) ** (-(h + 3.0) * support_size)
+
+
+__all__ = [
+    "chernoff_upper_tail",
+    "chernoff_large_deviation",
+    "negatively_associated_product_bound",
+    "empirical_tail_probability",
+    "union_bound",
+    "main_lemma_failure_bound",
+]

@@ -1,0 +1,79 @@
+"""Closed-form predicted bounds from the paper's theorem statements.
+
+These formulas give the *shape* of the guarantees (constants are not
+specified by the asymptotic statements, so every function takes an
+explicit ``constant`` knob with a default of 1).  The experiment harness
+plots measured competitive ratios against these predictions so the
+qualitative claims — polylog at logarithmic sparsity, exponential
+improvement with α, the n^{1/(2α)}/α lower bound — are directly visible
+in the output tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+
+def logarithmic_sparsity(n: int) -> int:
+    """The Theorem 2.3 sparsity level ``Theta(log n / log log n)`` (>= 1)."""
+    if n < 4:
+        return 1
+    return max(1, int(round(math.log2(n) / math.log2(max(math.log2(n), 2.0)))))
+
+
+def predicted_competitiveness(n: int, alpha: int, constant: float = 1.0) -> float:
+    """The Theorem 5.3 / Corollary 6.2 upper-bound shape.
+
+    ``constant * log^2(n) * (alpha + n^{1/alpha})`` — we use exponent
+    ``1/alpha`` for the ``n^{O(1/alpha)}`` term.
+    """
+    if n < 2 or alpha < 1:
+        raise ValueError("need n >= 2 and alpha >= 1")
+    logn = math.log2(n)
+    return constant * (logn**2) * (alpha + n ** (1.0 / alpha))
+
+
+def predicted_lower_bound(n: int, alpha: int) -> float:
+    """The Lemma 8.1 lower bound ``floor(n^{1/(2 alpha)}) / alpha``."""
+    if n < 2 or alpha < 1:
+        raise ValueError("need n >= 2 and alpha >= 1")
+    return math.floor(n ** (1.0 / (2.0 * alpha))) / alpha
+
+
+def sparsity_tradeoff_curve(n: int, alphas: List[int], constant: float = 1.0) -> List[Tuple[int, float, float]]:
+    """Upper- and lower-bound predictions per α.
+
+    Returns tuples ``(alpha, upper_prediction, lower_prediction)``.
+    """
+    return [
+        (alpha, predicted_competitiveness(n, alpha, constant), predicted_lower_bound(n, alpha))
+        for alpha in alphas
+    ]
+
+
+def deterministic_single_path_barrier(n: int, max_degree: int) -> float:
+    """The [KKT91] barrier for 1-path deterministic oblivious routing: ``sqrt(n) / degree``.
+
+    (The theorem states congestion at least Omega(sqrt(n) / Delta) on some
+    permutation demand.)
+    """
+    if n < 2 or max_degree < 1:
+        raise ValueError("need n >= 2 and max_degree >= 1")
+    return math.sqrt(n) / max_degree
+
+
+def completion_time_sparsity(n: int) -> int:
+    """The Lemma 2.8 sparsity ``Theta((log n / log log n)^2)``."""
+    base = logarithmic_sparsity(n)
+    return base * base
+
+
+__all__ = [
+    "logarithmic_sparsity",
+    "predicted_competitiveness",
+    "predicted_lower_bound",
+    "sparsity_tradeoff_curve",
+    "deterministic_single_path_barrier",
+    "completion_time_sparsity",
+]

@@ -1,0 +1,84 @@
+"""Demand-adaptive rate optimization on a fixed candidate path system.
+
+This is "Stage 4" of the semi-oblivious pipeline (Section 2.1): the
+candidate paths are already installed; when the demand arrives, the
+sending rates along the candidate paths are chosen to minimize the
+maximum edge congestion, using all global information.
+
+Two engines are provided:
+
+* ``method="lp"`` — the exact path LP (default, exact optimum),
+* ``method="greedy"`` — the iterative load-balancing heuristic
+  (LP-free, used for very large instances and as a cross-check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.path_system import PathSystem
+from repro.core.routing import Routing
+from repro.demands.demand import Demand
+from repro.exceptions import SolverError
+from repro.graphs.network import Vertex
+from repro.mcf.path_lp import greedy_rates, min_congestion_on_paths
+
+
+@dataclass
+class RateAdaptationResult:
+    """Outcome of adapting rates on a path system for one demand.
+
+    Attributes
+    ----------
+    congestion:
+        ``cong_R(P, d)`` achieved by the chosen rates.
+    routing:
+        The routing realizing it (``None`` only for empty demands).
+    edge_congestions:
+        Per-edge congestion under the chosen rates.
+    method:
+        Which engine produced the result (``"lp"`` or ``"greedy"``).
+    """
+
+    congestion: float
+    routing: Optional[Routing]
+    edge_congestions: Dict[Tuple[Vertex, Vertex], float]
+    method: str
+
+
+def optimal_rates(
+    system: PathSystem,
+    demand: Demand,
+    method: str = "lp",
+    greedy_iterations: int = 200,
+) -> RateAdaptationResult:
+    """Choose sending rates over ``system`` minimizing congestion for ``demand``.
+
+    Parameters
+    ----------
+    system:
+        The pre-installed candidate paths.
+    demand:
+        The revealed demand matrix.
+    method:
+        ``"lp"`` for the exact path LP (default) or ``"greedy"`` for the
+        iterative heuristic.
+    greedy_iterations:
+        Iteration budget for the greedy engine.
+    """
+    if method == "lp":
+        result = min_congestion_on_paths(system, demand, return_routing=True)
+    elif method == "greedy":
+        result = greedy_rates(system, demand, iterations=greedy_iterations)
+    else:
+        raise SolverError(f"unknown rate adaptation method {method!r}")
+    return RateAdaptationResult(
+        congestion=result.congestion,
+        routing=result.routing,
+        edge_congestions=result.edge_congestions,
+        method=method,
+    )
+
+
+__all__ = ["optimal_rates", "RateAdaptationResult"]

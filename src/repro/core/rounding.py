@@ -1,0 +1,125 @@
+"""Randomized rounding of fractional routings (Lemma 6.3).
+
+For an integral demand ``d`` and a fractional routing ``R``, sample, for
+every pair, ``d(s, t)`` paths independently from ``R(s, t)`` and give
+each sampled path weight equal to its sample count.  The rounding lemma
+guarantees that some outcome satisfies
+
+    cong(R', d) <= 2 * cong(R, d) + 3 ln m,
+
+and the proof is via Chernoff bounds on negatively-associated indicator
+sums, so the bound also holds with constant probability per trial.  The
+helper below retries until the bound is met (it almost always is on the
+first attempt) so callers receive a *certified* integral routing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.routing import Routing
+from repro.demands.demand import Demand
+from repro.exceptions import DemandError, SolverError
+from repro.graphs.network import Network, Path, Vertex
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def rounding_bound(fractional_congestion: float, num_edges: int) -> float:
+    """The Lemma 6.3 guarantee: ``2 * cong + 3 ln m``."""
+    return 2.0 * fractional_congestion + 3.0 * math.log(max(num_edges, 2))
+
+
+@dataclass
+class RoundingResult:
+    """An integral routing produced by randomized rounding.
+
+    Attributes
+    ----------
+    routing:
+        The integral routing (weights ``d(s,t) * P[R'(s,t)=p]`` are integers).
+    congestion:
+        Its congestion on the rounded demand.
+    bound:
+        The Lemma 6.3 guarantee it was certified against.
+    attempts:
+        Number of sampling attempts used.
+    """
+
+    routing: Routing
+    congestion: float
+    bound: float
+    attempts: int
+
+
+def randomized_rounding(
+    routing: Routing,
+    demand: Demand,
+    rng: RngLike = None,
+    max_attempts: int = 50,
+    require_bound: bool = True,
+) -> RoundingResult:
+    """Round ``routing`` to an integral routing of the integral demand ``demand``.
+
+    Parameters
+    ----------
+    routing:
+        A fractional routing covering the demand's support.
+    demand:
+        An integral demand (values are rounded to the nearest integer).
+    rng:
+        Randomness source.
+    max_attempts:
+        Number of independent sampling attempts before giving up on the
+        certified bound.
+    require_bound:
+        When True (default) the sampling is retried until the Lemma 6.3
+        bound holds; when False the best attempt is returned regardless.
+    """
+    if not demand.is_integral():
+        raise DemandError("randomized rounding requires an integral demand")
+    generator = ensure_rng(rng)
+    network = routing.network
+    fractional_congestion = routing.congestion(demand)
+    bound = rounding_bound(fractional_congestion, network.num_edges)
+
+    best: Optional[Tuple[float, Routing]] = None
+    for attempt in range(1, max_attempts + 1):
+        distributions: Dict[Tuple[Vertex, Vertex], Dict[Path, float]] = {}
+        for (source, target), amount in demand.items():
+            units = int(round(amount))
+            if units <= 0:
+                continue
+            pair_distribution = routing.distribution(source, target)
+            paths = list(pair_distribution.keys())
+            probabilities = [pair_distribution[path] for path in paths]
+            counts: Dict[Path, int] = {}
+            indices = generator.choice(len(paths), size=units, replace=True, p=probabilities)
+            for index in indices:
+                path = paths[int(index)]
+                counts[path] = counts.get(path, 0) + 1
+            distributions[(source, target)] = {
+                path: count / units for path, count in counts.items()
+            }
+        integral_routing = Routing(network, distributions)
+        congestion = integral_routing.congestion(demand)
+        if best is None or congestion < best[0]:
+            best = (congestion, integral_routing)
+        if congestion <= bound + 1e-9:
+            return RoundingResult(
+                routing=integral_routing,
+                congestion=congestion,
+                bound=bound,
+                attempts=attempt,
+            )
+    assert best is not None
+    if require_bound:
+        raise SolverError(
+            f"randomized rounding failed to meet the bound {bound:.3f} after "
+            f"{max_attempts} attempts (best congestion {best[0]:.3f})"
+        )
+    return RoundingResult(routing=best[1], congestion=best[0], bound=bound, attempts=max_attempts)
+
+
+__all__ = ["randomized_rounding", "rounding_bound", "RoundingResult"]

@@ -1,0 +1,166 @@
+"""The main user-facing object: :class:`SemiObliviousRouting`.
+
+Semi-oblivious routing in one line (Section 1.1): *sample a few paths
+from any competitive oblivious routing, then adapt the sending rates to
+the demand*.  This class packages the whole pipeline:
+
+1. choose an oblivious routing source (Räcke-style by default, Valiant
+   on hypercubes, electrical, ...),
+2. draw an α-sample or (α + cut)-sample as the candidate path system,
+3. for every revealed demand, optimize the rates on the candidate paths
+   (fractional) and optionally round them to an integral routing,
+4. report congestion / completion time / competitive ratios.
+
+A typical session::
+
+    net = topologies.hypercube(6)
+    router = SemiObliviousRouting.sample(
+        net, alpha=4, oblivious=RaeckeTreeRouting(net, rng=0), rng=0
+    )
+    result = router.route(demand)              # fractional, LP-optimal rates
+    integral = router.route_integral(demand)   # Lemma 6.3 rounding on top
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.core.competitive import CompetitiveReport, evaluate_path_system
+from repro.core.path_system import PathSystem
+from repro.core.rate_adaptation import RateAdaptationResult, optimal_rates
+from repro.core.rounding import RoundingResult, randomized_rounding
+from repro.core.routing import Routing
+from repro.core.sampling import alpha_plus_cut_sample, alpha_sample
+from repro.demands.demand import Demand
+from repro.exceptions import RoutingError
+from repro.graphs.cuts import CutCache
+from repro.graphs.network import Network, Vertex
+from repro.oblivious.base import ObliviousRoutingBuilder
+from repro.utils.rng import RngLike, ensure_rng
+
+Pair = Tuple[Vertex, Vertex]
+
+
+class SemiObliviousRouting:
+    """A sampled candidate path system together with its rate-adaptation logic.
+
+    Instances are usually created through :meth:`sample` (α-sample) or
+    :meth:`sample_with_cut` ((α + cut)-sample); an existing
+    :class:`PathSystem` can also be wrapped directly.
+    """
+
+    def __init__(self, system: PathSystem, alpha: Optional[int] = None, source_name: str = "custom"):
+        self._system = system
+        self._alpha = alpha
+        self._source_name = source_name
+
+    # ------------------------------------------------------------------ #
+    # Constructors (Definition 5.2)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def sample(
+        cls,
+        network: Network,
+        alpha: int,
+        oblivious: "Routing | ObliviousRoutingBuilder",
+        pairs: Optional[Iterable[Pair]] = None,
+        rng: RngLike = None,
+    ) -> "SemiObliviousRouting":
+        """Draw an α-sample of ``oblivious`` over ``pairs`` (default: all pairs)."""
+        if oblivious.network is not network and set(oblivious.network.vertices) != set(
+            network.vertices
+        ):
+            raise RoutingError("oblivious routing and network do not match")
+        system = alpha_sample(oblivious, alpha, pairs=pairs, rng=rng)
+        name = getattr(oblivious, "name", type(oblivious).__name__)
+        return cls(system, alpha=alpha, source_name=f"alpha-sample({name})")
+
+    @classmethod
+    def sample_with_cut(
+        cls,
+        network: Network,
+        alpha: int,
+        oblivious: "Routing | ObliviousRoutingBuilder",
+        pairs: Optional[Iterable[Pair]] = None,
+        cut_cache: Optional[CutCache] = None,
+        rng: RngLike = None,
+    ) -> "SemiObliviousRouting":
+        """Draw an (α + cut_G)-sample of ``oblivious``."""
+        cut_oracle = cut_cache if cut_cache is not None else CutCache(network)
+        system = alpha_plus_cut_sample(oblivious, alpha, cut_oracle=cut_oracle, pairs=pairs, rng=rng)
+        name = getattr(oblivious, "name", type(oblivious).__name__)
+        return cls(system, alpha=alpha, source_name=f"alpha-plus-cut-sample({name})")
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def system(self) -> PathSystem:
+        """The installed candidate path system."""
+        return self._system
+
+    @property
+    def network(self) -> Network:
+        return self._system.network
+
+    @property
+    def alpha(self) -> Optional[int]:
+        """The sampling parameter used (``None`` for wrapped systems)."""
+        return self._alpha
+
+    @property
+    def source_name(self) -> str:
+        """Which oblivious routing the paths were sampled from."""
+        return self._source_name
+
+    def sparsity(self) -> int:
+        """Actual sparsity (max candidate paths per pair, duplicates merged)."""
+        return self._system.sparsity()
+
+    # ------------------------------------------------------------------ #
+    # Routing a demand
+    # ------------------------------------------------------------------ #
+    def route(self, demand: Demand, method: str = "lp") -> RateAdaptationResult:
+        """Optimally split ``demand`` over the candidate paths (fractional)."""
+        return optimal_rates(self._system, demand, method=method)
+
+    def route_integral(
+        self,
+        demand: Demand,
+        method: str = "lp",
+        rng: RngLike = None,
+        require_bound: bool = True,
+    ) -> RoundingResult:
+        """Fractional rate adaptation followed by Lemma 6.3 randomized rounding."""
+        adaptation = self.route(demand, method=method)
+        if adaptation.routing is None:
+            raise RoutingError("cannot round an empty routing")
+        return randomized_rounding(
+            adaptation.routing,
+            demand.rounded_up(),
+            rng=ensure_rng(rng),
+            require_bound=require_bound,
+        )
+
+    def congestion(self, demand: Demand, method: str = "lp") -> float:
+        """``cong_R(P, d)`` for this system."""
+        return self.route(demand, method=method).congestion
+
+    def evaluate(self, demand: Demand, optimal_congestion: Optional[float] = None) -> CompetitiveReport:
+        """Competitive report against the offline optimum for ``demand``."""
+        return evaluate_path_system(
+            self._system,
+            demand,
+            scheme=self._source_name,
+            optimal_congestion=optimal_congestion,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SemiObliviousRouting(source={self._source_name!r}, alpha={self._alpha}, "
+            f"sparsity={self.sparsity()}, pairs={len(self._system)})"
+        )
+
+
+__all__ = ["SemiObliviousRouting"]

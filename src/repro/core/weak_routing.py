@@ -1,0 +1,194 @@
+"""The weak-routing dynamic process of Lemma 5.6.
+
+The heart of the paper's analysis is a deletion process: pretend to route
+the *entire* special demand over *all* sampled candidate paths at once;
+scan the edges in a fixed order; whenever the current edge's congestion
+exceeds the allowance ``gamma``, delete every surviving candidate path
+through it.  Lemma 5.10 shows the surviving weights route a sub-demand
+with congestion at most ``gamma``, and Lemma 5.6 shows that with
+exponentially small failure probability at least half of the demand
+survives (a *weakly-competitive* routing, Definition 5.4).
+
+This module implements the process faithfully (it is an algorithm, not
+just a proof device) so the concentration behaviour can be measured
+(experiment E5), and also exposes the repeated-halving reduction of
+Lemma 5.8 that turns weak routings into full routings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.path_system import PathSystem
+from repro.core.routing import Routing
+from repro.demands.demand import Demand
+from repro.exceptions import RoutingError
+from repro.graphs.network import Network, Path, Vertex, path_edges
+
+
+@dataclass
+class WeakRoutingOutcome:
+    """Outcome of one run of the Lemma 5.6 deletion process.
+
+    Attributes
+    ----------
+    routed_demand:
+        The sub-demand ``d'`` that survives with congestion <= gamma.
+    routing:
+        A routing of ``routed_demand`` on the surviving candidate paths.
+    routed_fraction:
+        ``siz(d') / siz(d)`` — Lemma 5.6 wants this to be >= 1/2.
+    gamma:
+        The congestion allowance used.
+    deleted_edges:
+        Edges that were over-congested and triggered deletions, in
+        processing order, with the amount of weight deleted at each.
+    succeeded:
+        True when at least half the demand survived.
+    """
+
+    routed_demand: Demand
+    routing: Optional[Routing]
+    routed_fraction: float
+    gamma: float
+    deleted_edges: List[Tuple[Tuple[Vertex, Vertex], float]] = field(default_factory=list)
+    succeeded: bool = False
+
+
+class WeakRoutingProcess:
+    """The fixed-edge-order deletion process from the proof of Lemma 5.6.
+
+    Parameters
+    ----------
+    system:
+        The sampled candidate path system ``P``.
+    edge_order:
+        Optional explicit edge processing order (defaults to the
+        network's canonical edge order — any order independent of the
+        sample and the demand is valid for the analysis).
+    """
+
+    def __init__(self, system: PathSystem, edge_order: Optional[List[Tuple[Vertex, Vertex]]] = None):
+        self._system = system
+        self._network = system.network
+        self._edge_order = list(edge_order) if edge_order is not None else list(self._network.edges)
+
+    @property
+    def system(self) -> PathSystem:
+        return self._system
+
+    def run(self, demand: Demand, gamma: float) -> WeakRoutingOutcome:
+        """Run the deletion process for ``demand`` with congestion allowance ``gamma``.
+
+        Initial weights follow the proof: the (s, t)-demand is divided
+        evenly over the pair's candidate paths (for special demands this
+        gives weight equal to the sample multiplicity; we use the
+        demand/|P(s,t)| split which routes the same totals).
+        """
+        if gamma <= 0:
+            raise RoutingError("gamma must be positive")
+        weights: Dict[Tuple[Tuple[Vertex, Vertex], Path], float] = {}
+        for pair, amount in demand.items():
+            if amount <= 0:
+                continue
+            paths = self._system.paths(*pair)
+            if not paths:
+                # No candidate path: this pair's demand is lost immediately.
+                continue
+            share = amount / len(paths)
+            for path in paths:
+                weights[(pair, path)] = share
+
+        capacities = {edge: self._network.capacity_of(edge) for edge in self._network.edges}
+        deleted_edges: List[Tuple[Tuple[Vertex, Vertex], float]] = []
+
+        for edge in self._edge_order:
+            congestion = 0.0
+            crossing: List[Tuple[Tuple[Vertex, Vertex], Path]] = []
+            for key, weight in weights.items():
+                if weight <= 0:
+                    continue
+                _, path = key
+                if edge in path_edges(path):
+                    congestion += weight
+                    crossing.append(key)
+            congestion /= capacities[edge]
+            if congestion > gamma:
+                removed = 0.0
+                for key in crossing:
+                    removed += weights[key]
+                    weights[key] = 0.0
+                deleted_edges.append((edge, removed))
+
+        routed_values: Dict[Tuple[Vertex, Vertex], float] = {}
+        distributions: Dict[Tuple[Vertex, Vertex], Dict[Path, float]] = {}
+        for (pair, path), weight in weights.items():
+            if weight <= 0:
+                continue
+            routed_values[pair] = routed_values.get(pair, 0.0) + weight
+            distributions.setdefault(pair, {})[path] = weight
+        routed_demand = Demand(routed_values)
+        routing = None
+        if distributions:
+            normalized = {
+                pair: {path: w / sum(bucket.values()) for path, w in bucket.items()}
+                for pair, bucket in distributions.items()
+            }
+            routing = Routing(self._network, normalized)
+
+        total = demand.size()
+        routed_fraction = routed_demand.size() / total if total > 0 else 1.0
+        return WeakRoutingOutcome(
+            routed_demand=routed_demand,
+            routing=routing,
+            routed_fraction=routed_fraction,
+            gamma=gamma,
+            deleted_edges=deleted_edges,
+            succeeded=routed_fraction >= 0.5,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lemma 5.8: weak -> strong by repeated halving
+    # ------------------------------------------------------------------ #
+    def route_by_halving(
+        self,
+        demand: Demand,
+        gamma: float,
+        max_rounds: Optional[int] = None,
+    ) -> Tuple[Demand, List[WeakRoutingOutcome]]:
+        """Repeatedly route >= 1/4 of the remaining demand (Lemma 5.8 reduction).
+
+        Returns the total routed demand and the per-round outcomes; the
+        number of rounds is O(log of demand size), and the combined
+        congestion is at most ``gamma * rounds``.
+        """
+        if max_rounds is None:
+            max_rounds = 2 * int(math.ceil(math.log2(max(self._network.num_edges, 2)))) + 4
+        remaining = demand
+        outcomes: List[WeakRoutingOutcome] = []
+        routed_total = Demand.empty()
+        for _ in range(max_rounds):
+            if remaining.is_empty() or remaining.size() <= demand.size() / max(self._network.num_edges, 2):
+                break
+            outcome = self.run(remaining, gamma)
+            outcomes.append(outcome)
+            if outcome.routed_demand.is_empty():
+                break
+            # Keep pairs where at least a quarter of the remaining demand was routed
+            # in full (the d'' of the Lemma 5.8 proof), drop them from the remainder.
+            fully_routed_pairs = [
+                pair
+                for pair in remaining.pairs()
+                if outcome.routed_demand.value(*pair) >= 0.25 * remaining.value(*pair)
+            ]
+            if not fully_routed_pairs:
+                break
+            routed_chunk = remaining.restricted(fully_routed_pairs)
+            routed_total = routed_total + routed_chunk
+            remaining = remaining - routed_chunk
+        return routed_total, outcomes
+
+
+__all__ = ["WeakRoutingProcess", "WeakRoutingOutcome"]

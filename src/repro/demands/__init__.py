@@ -1,0 +1,35 @@
+"""Demand matrices, demand generators, adversarial demands and traffic matrices."""
+
+from repro.demands.demand import Demand
+from repro.demands.generators import (
+    permutation_demand,
+    random_permutation_demand,
+    random_pairs_demand,
+    all_pairs_demand,
+    gravity_demand,
+    uniform_demand,
+    bit_reversal_demand,
+    transpose_demand,
+    bisection_demand,
+    special_demand_from_pairs,
+    cluster_demand,
+)
+from repro.demands.traffic_matrix import TrafficMatrixSeries, diurnal_gravity_series, constant_series
+
+__all__ = [
+    "Demand",
+    "permutation_demand",
+    "random_permutation_demand",
+    "random_pairs_demand",
+    "all_pairs_demand",
+    "gravity_demand",
+    "uniform_demand",
+    "bit_reversal_demand",
+    "transpose_demand",
+    "bisection_demand",
+    "special_demand_from_pairs",
+    "cluster_demand",
+    "TrafficMatrixSeries",
+    "diurnal_gravity_series",
+    "constant_series",
+]

@@ -1,0 +1,205 @@
+"""Adversarial demand construction.
+
+Two adversaries:
+
+* :func:`lower_bound_adversary` — the constructive Lemma 8.1 adversary.
+  Given any sparse path system on the gadget ``C(n, k)``, it uses the
+  double pigeonhole + matching argument from the proof to output a
+  permutation demand between star leaves that every routing *on the
+  candidate paths* must congest by at least (matching size) / |S'|,
+  while the offline integral optimum routes it with congestion 1.
+
+* :func:`random_search_adversary` — a generic randomized search over a
+  demand family that keeps the demand with the worst measured
+  competitive ratio.  Used to probe upper-bound experiments beyond the
+  structured worst cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.competitive import evaluate_path_system
+from repro.core.path_system import PathSystem
+from repro.demands.demand import Demand
+from repro.exceptions import DemandError
+from repro.graphs.lower_bound import GadgetLayout
+from repro.graphs.network import Vertex
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class LowerBoundAdversaryResult:
+    """Outcome of the Lemma 8.1 adversary.
+
+    Attributes
+    ----------
+    demand:
+        The adversarial permutation demand (between star leaves).
+    congestion_lower_bound:
+        Every routing supported on the attacked path system must incur at
+        least this much congestion on ``demand``.
+    optimal_congestion:
+        The offline integral optimum for ``demand`` (always 1 when the
+        matching is nonempty: route each pair through its own middle
+        vertex — there are at least as many middle vertices as pairs).
+    bottleneck_vertices:
+        The set ``S'`` of middle vertices every candidate path of every
+        demanded pair crosses.
+    matching:
+        The (source leaf, target leaf) matching realizing the demand.
+    """
+
+    demand: Demand
+    congestion_lower_bound: float
+    optimal_congestion: float
+    bottleneck_vertices: FrozenSet[Vertex]
+    matching: List[Tuple[Vertex, Vertex]]
+
+    @property
+    def guaranteed_ratio(self) -> float:
+        if self.optimal_congestion <= 0:
+            return float("inf")
+        return self.congestion_lower_bound / self.optimal_congestion
+
+
+def _middle_vertices_used(
+    system: PathSystem,
+    source: Vertex,
+    target: Vertex,
+    middle: FrozenSet[Vertex],
+) -> FrozenSet[Vertex]:
+    """The set of middle vertices touched by the candidate paths for (source, target)."""
+    used = set()
+    for path in system.paths(source, target):
+        for vertex in path:
+            if vertex in middle:
+                used.add(vertex)
+    return frozenset(used)
+
+
+def lower_bound_adversary(
+    system: PathSystem,
+    layout: GadgetLayout,
+    max_pairs: Optional[int] = None,
+) -> LowerBoundAdversaryResult:
+    """Run the Lemma 8.1 pigeonhole adversary against ``system`` on ``C(n, k)``.
+
+    Parameters
+    ----------
+    system:
+        A path system covering (at least) the left-leaf -> right-leaf
+        pairs of the gadget.
+    layout:
+        The gadget layout (as returned by
+        :func:`repro.graphs.lower_bound.lower_bound_gadget`).
+    max_pairs:
+        Optional cap on the matching size (defaults to ``k``, the number
+        of middle vertices, as in the proof).
+
+    The adversary groups pairs by the exact set of middle vertices their
+    candidate paths use; the largest group with a common "bottleneck set"
+    S' yields a leaf matching all of whose traffic must squeeze through
+    S', giving congestion at least ``|matching| / |S'|`` for any routing
+    on the candidate paths, while the optimum is 1.
+    """
+    middle = frozenset(layout.middle)
+    if max_pairs is None:
+        max_pairs = layout.k
+
+    # f(s, t): the middle vertices used by the candidate paths of (s, t).
+    used_sets: Dict[Vertex, Dict[Vertex, FrozenSet[Vertex]]] = {}
+    for source in layout.left_leaves:
+        per_target: Dict[Vertex, FrozenSet[Vertex]] = {}
+        for target in layout.right_leaves:
+            if not system.has_pair(source, target):
+                continue
+            used = _middle_vertices_used(system, source, target, middle)
+            if used:
+                per_target[target] = used
+        if per_target:
+            used_sets[source] = per_target
+
+    if not used_sets:
+        raise DemandError("path system covers no left-leaf -> right-leaf pair of the gadget")
+
+    # First pigeonhole: per source, the most common bottleneck set f(s).
+    best_set_per_source: Dict[Vertex, Tuple[FrozenSet[Vertex], List[Vertex]]] = {}
+    for source, per_target in used_sets.items():
+        groups: Dict[FrozenSet[Vertex], List[Vertex]] = {}
+        for target, used in per_target.items():
+            groups.setdefault(used, []).append(target)
+        best_set = max(groups, key=lambda key: len(groups[key]))
+        best_set_per_source[source] = (best_set, groups[best_set])
+
+    # Second pigeonhole: the most common f(s) across sources.
+    source_groups: Dict[FrozenSet[Vertex], List[Vertex]] = {}
+    for source, (used, _) in best_set_per_source.items():
+        source_groups.setdefault(used, []).append(source)
+    bottleneck = max(source_groups, key=lambda key: len(source_groups[key]))
+    sources = source_groups[bottleneck]
+
+    # Greedy matching between the selected sources and their candidate targets.
+    matching: List[Tuple[Vertex, Vertex]] = []
+    taken_targets: set = set()
+    for source in sources:
+        if len(matching) >= max_pairs:
+            break
+        _, candidate_targets = best_set_per_source[source]
+        for target in candidate_targets:
+            if target not in taken_targets:
+                taken_targets.add(target)
+                matching.append((source, target))
+                break
+
+    if not matching:
+        raise DemandError("adversary failed to build a nonempty matching")
+
+    demand = Demand.from_pairs(matching)
+    bound = len(matching) / max(len(bottleneck), 1)
+    # The optimum is 1 whenever the matching is no larger than the middle layer.
+    optimal = 1.0 if len(matching) <= layout.k else len(matching) / layout.k
+    return LowerBoundAdversaryResult(
+        demand=demand,
+        congestion_lower_bound=bound,
+        optimal_congestion=optimal,
+        bottleneck_vertices=bottleneck,
+        matching=matching,
+    )
+
+
+def random_search_adversary(
+    system: PathSystem,
+    demand_factory: Callable[[object], Demand],
+    num_trials: int = 10,
+    rng: RngLike = None,
+) -> Tuple[Demand, float]:
+    """Randomized adversarial search: keep the demand with the worst ratio.
+
+    ``demand_factory(rng)`` must return a fresh random demand per call.
+    Returns the worst demand found and its measured competitive ratio.
+    """
+    if num_trials < 1:
+        raise DemandError("num_trials must be at least 1")
+    generator = ensure_rng(rng)
+    worst_demand: Optional[Demand] = None
+    worst_ratio = -1.0
+    for _ in range(num_trials):
+        demand = demand_factory(generator)
+        if demand.is_empty():
+            continue
+        report = evaluate_path_system(system, demand)
+        if report.ratio > worst_ratio:
+            worst_ratio = report.ratio
+            worst_demand = demand
+    if worst_demand is None:
+        raise DemandError("demand factory produced only empty demands")
+    return worst_demand, worst_ratio
+
+
+__all__ = [
+    "LowerBoundAdversaryResult",
+    "lower_bound_adversary",
+    "random_search_adversary",
+]

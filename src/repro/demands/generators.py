@@ -1,0 +1,239 @@
+"""Demand generators.
+
+The paper's statements quantify over *all* demands; the experiments
+evaluate on the structured families that drive the theory:
+
+* random and adversarial permutation demands (the lower-bound class),
+* {0, 1}-demands on random pair sets,
+* classic hard hypercube patterns (bit reversal, transpose),
+* bisection demands (every vertex on one side talks to the other side),
+* gravity-model demands (the traffic-engineering workload of SMORE),
+* α-special demands (Definition 5.5), built from pair supports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.demands.demand import Demand, Pair
+from repro.exceptions import DemandError
+from repro.graphs.network import Network, Vertex
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def permutation_demand(mapping: dict) -> Demand:
+    """A permutation demand from an explicit source -> target mapping."""
+    pairs = []
+    targets_seen = set()
+    for source, target in mapping.items():
+        if source == target:
+            continue
+        if target in targets_seen:
+            raise DemandError("mapping is not injective; not a permutation demand")
+        targets_seen.add(target)
+        pairs.append((source, target))
+    return Demand.from_pairs(pairs)
+
+
+def random_permutation_demand(
+    network: Network,
+    rng: RngLike = None,
+    vertices: Optional[Sequence[Vertex]] = None,
+) -> Demand:
+    """A uniformly random permutation demand over ``vertices`` (default: all)."""
+    generator = ensure_rng(rng)
+    nodes = list(vertices) if vertices is not None else network.vertices
+    shuffled = list(nodes)
+    generator.shuffle(shuffled)
+    pairs = [(s, t) for s, t in zip(nodes, shuffled) if s != t]
+    return Demand.from_pairs(pairs, network=network)
+
+
+def random_pairs_demand(
+    network: Network,
+    num_pairs: int,
+    value: float = 1.0,
+    rng: RngLike = None,
+) -> Demand:
+    """A demand of ``value`` on ``num_pairs`` distinct random ordered pairs."""
+    if num_pairs < 0:
+        raise DemandError("num_pairs must be nonnegative")
+    generator = ensure_rng(rng)
+    nodes = network.vertices
+    if len(nodes) < 2:
+        raise DemandError("network must have at least two vertices")
+    chosen = set()
+    max_pairs = len(nodes) * (len(nodes) - 1)
+    target_count = min(num_pairs, max_pairs)
+    while len(chosen) < target_count:
+        i, j = generator.integers(0, len(nodes), size=2)
+        if i == j:
+            continue
+        chosen.add((nodes[int(i)], nodes[int(j)]))
+    return Demand.from_pairs(chosen, value=value, network=network)
+
+
+def all_pairs_demand(network: Network, value: float = 1.0) -> Demand:
+    """Demand ``value`` between every ordered pair of distinct vertices."""
+    return Demand.from_pairs(network.vertex_pairs(ordered=True), value=value, network=network)
+
+
+def uniform_demand(network: Network, total: float) -> Demand:
+    """A uniform all-pairs demand with total volume ``total``."""
+    pairs = list(network.vertex_pairs(ordered=True))
+    if not pairs:
+        return Demand.empty()
+    return Demand.from_pairs(pairs, value=total / len(pairs), network=network)
+
+
+def gravity_demand(
+    network: Network,
+    total: float,
+    weights: Optional[dict] = None,
+    rng: RngLike = None,
+) -> Demand:
+    """A gravity-model demand: ``d(s, t) ∝ w(s) * w(t)``.
+
+    When ``weights`` is omitted, per-vertex weights are sampled from a
+    log-normal distribution, which mimics the heavy-tailed ingress/egress
+    volumes of real traffic matrices.
+    """
+    generator = ensure_rng(rng)
+    nodes = network.vertices
+    if weights is None:
+        raw = generator.lognormal(mean=0.0, sigma=1.0, size=len(nodes))
+        weights = {node: float(value) for node, value in zip(nodes, raw)}
+    else:
+        weights = {node: float(weights.get(node, 0.0)) for node in nodes}
+    normalizer = sum(
+        weights[s] * weights[t] for s in nodes for t in nodes if s != t
+    )
+    if normalizer <= 0:
+        raise DemandError("gravity weights must have positive pairwise products")
+    values = {}
+    for s in nodes:
+        for t in nodes:
+            if s == t:
+                continue
+            amount = total * weights[s] * weights[t] / normalizer
+            if amount > 0:
+                values[(s, t)] = amount
+    return Demand(values, network=network)
+
+
+def bit_reversal_demand(network: Network, dimension: int) -> Demand:
+    """The bit-reversal permutation on a ``dimension``-dimensional hypercube.
+
+    A classic adversarial pattern for deterministic oblivious routing on
+    hypercubes ([KKT91] style): vertex ``x`` sends to the vertex whose
+    label is the bit-reversal of ``x``.
+    """
+    size = 1 << dimension
+    pairs = []
+    for vertex in range(size):
+        reversed_bits = int(format(vertex, f"0{dimension}b")[::-1], 2)
+        if reversed_bits != vertex:
+            pairs.append((vertex, reversed_bits))
+    return Demand.from_pairs(pairs, network=network)
+
+
+def transpose_demand(network: Network, dimension: int) -> Demand:
+    """The transpose permutation on a hypercube with even ``dimension``.
+
+    Vertex ``(x, y)`` (labels split into two halves) sends to ``(y, x)``;
+    another classic worst case for single-path deterministic routing.
+    """
+    if dimension % 2 != 0:
+        raise DemandError("transpose demand requires an even hypercube dimension")
+    half = dimension // 2
+    mask = (1 << half) - 1
+    size = 1 << dimension
+    pairs = []
+    for vertex in range(size):
+        low = vertex & mask
+        high = vertex >> half
+        image = (low << half) | high
+        if image != vertex:
+            pairs.append((vertex, image))
+    return Demand.from_pairs(pairs, network=network)
+
+
+def bisection_demand(network: Network, rng: RngLike = None) -> Demand:
+    """A random perfect matching between two halves of the vertex set."""
+    generator = ensure_rng(rng)
+    nodes = list(network.vertices)
+    generator.shuffle(nodes)
+    half = len(nodes) // 2
+    left, right = nodes[:half], nodes[half : 2 * half]
+    pairs = list(zip(left, right))
+    return Demand.from_pairs(pairs, network=network)
+
+
+def special_demand_from_pairs(
+    pairs: Iterable[Pair],
+    alpha: int,
+    cut_oracle: Callable[[Vertex, Vertex], float],
+) -> Demand:
+    """The α-special demand (Definition 5.5) supported on ``pairs``."""
+    values = {}
+    for source, target in pairs:
+        if source == target:
+            continue
+        values[(source, target)] = alpha + cut_oracle(source, target)
+    return Demand(values)
+
+
+def cluster_demand(
+    network: Network,
+    clusters: Sequence[Sequence[Vertex]],
+    intra: float = 0.0,
+    inter: float = 1.0,
+) -> Demand:
+    """Demands organised around vertex clusters.
+
+    Every ordered pair inside a cluster gets ``intra``; every ordered
+    pair between different clusters gets ``inter`` (scaled down by the
+    number of such pairs so the totals stay comparable).
+    """
+    values = {}
+    for cluster in clusters:
+        for s in cluster:
+            for t in cluster:
+                if s != t and intra > 0:
+                    values[(s, t)] = intra
+    flat = [v for cluster in clusters for v in cluster]
+    for i, cluster_a in enumerate(clusters):
+        for j, cluster_b in enumerate(clusters):
+            if i == j:
+                continue
+            for s in cluster_a:
+                for t in cluster_b:
+                    if inter > 0:
+                        values[(s, t)] = inter
+    _ = flat
+    return Demand(values, network=network)
+
+
+def demands_for_support(
+    support: Iterable[Pair],
+    values: Iterable[float],
+) -> List[Demand]:
+    """One {0,1}-style demand per value: value * indicator(support)."""
+    support = list(support)
+    return [Demand.from_pairs(support, value=value) for value in values]
+
+
+__all__ = [
+    "permutation_demand",
+    "random_permutation_demand",
+    "random_pairs_demand",
+    "all_pairs_demand",
+    "uniform_demand",
+    "gravity_demand",
+    "bit_reversal_demand",
+    "transpose_demand",
+    "bisection_demand",
+    "special_demand_from_pairs",
+    "cluster_demand",
+    "demands_for_support",
+]

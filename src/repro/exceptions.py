@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError`, so that
+callers can distinguish library failures from programming errors with a
+single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Raised when a graph is malformed for the requested operation.
+
+    Examples include disconnected graphs passed to routines that require
+    connectivity, or vertex identifiers that are not present in the graph.
+    """
+
+
+class DemandError(ReproError):
+    """Raised when a demand matrix is malformed.
+
+    Examples include negative demand values, demand between identical
+    vertices, or demands referencing vertices outside the graph.
+    """
+
+
+class PathError(ReproError):
+    """Raised when a path is malformed.
+
+    Examples include non-simple paths, paths whose consecutive vertices
+    are not adjacent in the graph, or paths with wrong endpoints.
+    """
+
+
+class RoutingError(ReproError):
+    """Raised when a routing object is inconsistent.
+
+    Examples include path distributions that do not sum to one, or
+    routings queried for pairs they do not cover.
+    """
+
+
+class SolverError(ReproError):
+    """Raised when an LP or combinatorial solver fails to produce a solution."""
+
+
+class InfeasibleError(SolverError):
+    """Raised when a routing/flow problem has no feasible solution.
+
+    Typically caused by demands between vertices in different connected
+    components, or by hop bounds smaller than the graph distance.
+    """

@@ -1,0 +1,128 @@
+"""E9 — arbitrary integral demands need (α + cut)-sparsity (Lemma 2.7 / Lemma 5.9).
+
+Two measurements:
+
+* on the two-cliques-bridged gadget of Section 2.1, a plain α-sample can
+  be badly non-competitive for a single high-cut pair, while the
+  (α + cut)-sample stays competitive — the reason the paper switches to
+  (α + cut)-sparsity for fractional/arbitrary demands;
+* on an expander with heterogeneous integral demands, the (α + cut)-sample's
+  competitive ratio stays small, and the Lemma 5.9 bucketing reduction
+  (route each ratio bucket separately, then combine via Lemma 5.15)
+  is measured against routing the demand directly on the same system.
+"""
+
+from __future__ import annotations
+
+from repro.core.competitive import evaluate_path_system
+from repro.core.rate_adaptation import optimal_rates
+from repro.core.routing import Routing
+from repro.core.sampling import alpha_plus_cut_sample, alpha_sample
+from repro.demands.demand import Demand
+from repro.experiments.harness import ExperimentConfig, ExperimentResult
+from repro.graphs import topologies
+from repro.graphs.cuts import CutCache
+from repro.mcf.lp import min_congestion_lp
+from repro.oblivious.racke import RaeckeTreeRouting
+from repro.utils.rng import ensure_rng
+
+_DEFAULTS = {
+    "smoke": {"clique_size": 4, "bridges": 4, "expander_n": 12, "alpha": 2, "num_pairs": 4},
+    "small": {"clique_size": 6, "bridges": 6, "expander_n": 20, "alpha": 3, "num_pairs": 8},
+    "paper": {"clique_size": 12, "bridges": 12, "expander_n": 48, "alpha": 4, "num_pairs": 20},
+}
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    rng = ensure_rng(config.seed)
+    result = ExperimentResult(experiment_id="E9_arbitrary_demands")
+
+    clique_size = config.param("clique_size", _DEFAULTS)
+    bridges = config.param("bridges", _DEFAULTS)
+    expander_n = config.param("expander_n", _DEFAULTS)
+    alpha = config.param("alpha", _DEFAULTS)
+    num_pairs = config.param("num_pairs", _DEFAULTS)
+
+    # Part 1: the Section 2.1 motivating example.
+    gadget = topologies.two_cliques_bridged(clique_size, bridges)
+    cuts = CutCache(gadget)
+    oblivious = RaeckeTreeRouting(gadget, rng=rng)
+    source, target = ("L", clique_size - 1), ("R", clique_size - 1)
+    heavy_demand = Demand({(source, target): float(bridges)})
+    optimum = min_congestion_lp(gadget, heavy_demand).congestion
+
+    plain = alpha_sample(oblivious, alpha, pairs=[(source, target)], rng=rng)
+    with_cut = alpha_plus_cut_sample(
+        oblivious, alpha, cut_oracle=cuts, pairs=[(source, target)], rng=rng
+    )
+    plain_report = evaluate_path_system(plain, heavy_demand, optimal_congestion=optimum)
+    cut_report = evaluate_path_system(with_cut, heavy_demand, optimal_congestion=optimum)
+    result.add_row(
+        "cut_sparsity_necessity",
+        graph=gadget.name,
+        pair_cut=int(cuts(source, target)),
+        demand=float(bridges),
+        optimum=round(optimum, 3),
+        alpha=alpha,
+        plain_sample_sparsity=plain.sparsity(),
+        plain_sample_ratio=round(plain_report.ratio, 3),
+        cut_sample_sparsity=with_cut.sparsity(),
+        cut_sample_ratio=round(cut_report.ratio, 3),
+    )
+
+    # Part 2: heterogeneous integral demand on an expander + bucketing reduction.
+    expander = topologies.random_regular_expander(expander_n, degree=4, rng=rng)
+    expander_cuts = CutCache(expander)
+    expander_oblivious = RaeckeTreeRouting(expander, rng=rng)
+    vertices = expander.vertices
+    values = {}
+    for index in range(num_pairs):
+        pair = (vertices[index % len(vertices)], vertices[(index * 5 + 2) % len(vertices)])
+        if pair[0] == pair[1]:
+            continue
+        values[pair] = float(1 + (index % 4) * 3)  # heterogeneous integral values 1..10
+    demand = Demand(values, network=expander)
+    optimum = min_congestion_lp(expander, demand).congestion
+    system = alpha_plus_cut_sample(
+        expander_oblivious, alpha, cut_oracle=expander_cuts, pairs=demand.pairs(), rng=rng
+    )
+    direct = optimal_rates(system, demand)
+
+    # Lemma 5.9 bucketing: route each ratio bucket separately and combine (Lemma 5.15).
+    buckets = demand.buckets_by_ratio(
+        lambda pair: alpha + expander_cuts(pair[0], pair[1])
+    )
+    bucket_routings = []
+    bucket_demands = []
+    for bucket in buckets.values():
+        adaptation = optimal_rates(system, bucket)
+        if adaptation.routing is not None:
+            bucket_routings.append(adaptation.routing)
+            bucket_demands.append(bucket)
+    if bucket_routings:
+        combined = Routing.demand_weighted_mix(bucket_routings, bucket_demands)
+        combined_congestion = combined.congestion(demand)
+    else:
+        combined_congestion = float("nan")
+
+    result.add_row(
+        "arbitrary_integral",
+        graph=expander.name,
+        n=expander.num_vertices,
+        alpha=alpha,
+        pairs=demand.support_size(),
+        max_demand=demand.max_value(),
+        optimum=round(optimum, 3),
+        direct_ratio=round(direct.congestion / max(optimum, 1e-12), 3),
+        num_buckets=len(buckets),
+        bucketed_ratio=round(combined_congestion / max(optimum, 1e-12), 3),
+    )
+    result.add_note(
+        "plain_sample_ratio should be around bridges/alpha (non-competitive) while "
+        "cut_sample_ratio stays O(1) — the Section 2.1 argument for (alpha+cut)-sparsity. "
+        "bucketed_ratio exceeds direct_ratio by at most the O(log m) factor Lemma 5.9 pays."
+    )
+    return result
+
+
+__all__ = ["run"]

@@ -1,0 +1,81 @@
+"""E2 — logarithmic sparsity suffices (Theorems 2.3 and 5.3).
+
+With α = Θ(log n / log log n) sampled paths, the competitive ratio should
+stay polylogarithmic as n grows (flat or slowly growing in the measured
+table), across several topology families.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.theory import logarithmic_sparsity
+from repro.core.competitive import evaluate_path_system
+from repro.core.sampling import alpha_sample
+from repro.demands.generators import random_permutation_demand
+from repro.experiments.harness import ExperimentConfig, ExperimentResult
+from repro.graphs import topologies
+from repro.mcf.lp import min_congestion_lp
+from repro.oblivious.racke import RaeckeTreeRouting
+from repro.oblivious.valiant import ValiantHypercubeRouting
+from repro.utils.rng import ensure_rng
+
+_DEFAULTS = {
+    "smoke": {"hypercube_dims": [3], "torus_sizes": [3], "expander_sizes": [12], "num_demands": 1},
+    "small": {"hypercube_dims": [3, 4], "torus_sizes": [3, 4], "expander_sizes": [16, 24], "num_demands": 2},
+    "paper": {
+        "hypercube_dims": [4, 5, 6],
+        "torus_sizes": [4, 5, 6],
+        "expander_sizes": [24, 48, 96],
+        "num_demands": 4,
+    },
+}
+
+
+def _evaluate(network, oblivious, num_demands, rng, result, family):
+    alpha = max(2, logarithmic_sparsity(network.num_vertices))
+    demands = [random_permutation_demand(network, rng=rng) for _ in range(num_demands)]
+    pairs = {pair for demand in demands for pair in demand.pairs()}
+    system = alpha_sample(oblivious, alpha, pairs=pairs, rng=rng)
+    worst = 0.0
+    for demand in demands:
+        optimum = min_congestion_lp(network, demand).congestion
+        report = evaluate_path_system(system, demand, optimal_congestion=optimum)
+        worst = max(worst, report.ratio)
+    result.add_row(
+        "log_sparsity",
+        family=family,
+        n=network.num_vertices,
+        m=network.num_edges,
+        alpha=alpha,
+        sparsity=system.sparsity(),
+        worst_ratio=round(worst, 3),
+    )
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    rng = ensure_rng(config.seed)
+    result = ExperimentResult(experiment_id="E2_log_sparsity")
+    num_demands = config.param("num_demands", _DEFAULTS)
+
+    for dim in config.param("hypercube_dims", _DEFAULTS):
+        network = topologies.hypercube(dim)
+        oblivious = ValiantHypercubeRouting(network, dim, rng=rng)
+        _evaluate(network, oblivious, num_demands, rng, result, family="hypercube")
+
+    for size in config.param("torus_sizes", _DEFAULTS):
+        network = topologies.torus_2d(size)
+        oblivious = RaeckeTreeRouting(network, rng=rng)
+        _evaluate(network, oblivious, num_demands, rng, result, family="torus")
+
+    for size in config.param("expander_sizes", _DEFAULTS):
+        network = topologies.random_regular_expander(size, degree=4, rng=rng)
+        oblivious = RaeckeTreeRouting(network, rng=rng)
+        _evaluate(network, oblivious, num_demands, rng, result, family="expander")
+
+    result.add_note(
+        "With alpha = Theta(log n / log log n) the worst measured ratio should stay small and "
+        "grow at most polylogarithmically with n (Theorem 2.3)."
+    )
+    return result
+
+
+__all__ = ["run"]

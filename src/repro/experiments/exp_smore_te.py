@@ -1,0 +1,80 @@
+"""E8 — SMORE-style traffic engineering (Section 1.1 consequence, [KYY+18]).
+
+Replay a diurnal gravity-model traffic-matrix series on an ISP-like
+topology and compare the maximum-link-utilization ratio (vs the
+per-snapshot MCF optimum) of:
+
+* α = 4 semi-oblivious routing (sample once, adapt rates per snapshot),
+* the base oblivious routing with fixed splits,
+* adaptive k-shortest-paths,
+* single shortest path.
+
+The qualitative claim to reproduce: semi-oblivious is close to optimal
+(ratio near 1), clearly better than the non-adaptive oblivious routing
+and far better than single-path routing — which is why α ≈ 4 is the
+practical sweet spot the paper explains.
+"""
+
+from __future__ import annotations
+
+from repro.demands.traffic_matrix import diurnal_gravity_series
+from repro.experiments.harness import ExperimentConfig, ExperimentResult
+from repro.graphs.generators import waxman_isp
+from repro.oblivious.racke import RaeckeTreeRouting
+from repro.te.simulation import TrafficEngineeringSimulator
+from repro.utils.rng import ensure_rng
+
+_DEFAULTS = {
+    "smoke": {"n": 10, "snapshots": 2, "alpha": 2},
+    "small": {"n": 14, "snapshots": 4, "alpha": 4},
+    "paper": {"n": 18, "snapshots": 8, "alpha": 4},
+}
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    rng = ensure_rng(config.seed)
+    result = ExperimentResult(experiment_id="E8_smore_te")
+
+    n = config.param("n", _DEFAULTS)
+    snapshots = config.param("snapshots", _DEFAULTS)
+    alpha = config.param("alpha", _DEFAULTS)
+
+    network = waxman_isp(n, rng=rng)
+    series = diurnal_gravity_series(network, num_snapshots=snapshots, rng=rng)
+    simulator = TrafficEngineeringSimulator(
+        network,
+        alpha=alpha,
+        oblivious=RaeckeTreeRouting(network, rng=rng),
+        ksp_k=alpha,
+        rng=rng,
+    )
+    simulator.install_paths()
+    report = simulator.simulate(series)
+
+    for scheme, scheme_result in report.results.items():
+        result.add_row(
+            "te_utilization_ratios",
+            topology=network.name,
+            n=network.num_vertices,
+            m=network.num_edges,
+            snapshots=len(series),
+            alpha=alpha,
+            scheme=scheme,
+            mean_ratio=round(scheme_result.mean_ratio(), 3),
+            p90_ratio=round(scheme_result.percentile_ratio(90.0), 3),
+            worst_ratio=round(scheme_result.worst_ratio(), 3),
+        )
+    result.add_row(
+        "te_sparsity",
+        scheme="semi-oblivious",
+        installed_paths=simulator.semi_oblivious_system.num_paths(),
+        sparsity=simulator.semi_oblivious_system.sparsity(),
+    )
+    result.add_note(
+        "Expected ordering of mean ratios: semi-oblivious <= ksp < oblivious << spf, with "
+        "semi-oblivious close to 1 — the SMORE observation the paper gives a theoretical basis for."
+    )
+    return result
+
+
+__all__ = ["run"]

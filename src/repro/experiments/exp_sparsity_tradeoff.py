@@ -1,0 +1,81 @@
+"""E1 — sparsity-competitiveness trade-off (Theorem 2.5, "power of random choices").
+
+Sweep α and measure the competitive ratio of α-samples against the
+offline optimum on hypercubes and expanders, comparing the measured curve
+against the ``n^{O(1/α)}`` prediction and the Lemma 8.1 lower-bound curve.
+The qualitative claim to verify: each additional path yields a large
+(multiplicative) improvement, flattening to near-optimal by α ≈ log n.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.theory import predicted_competitiveness, predicted_lower_bound
+from repro.core.sampling import alpha_sample
+from repro.core.competitive import evaluate_path_system
+from repro.demands.generators import random_permutation_demand
+from repro.experiments.harness import ExperimentConfig, ExperimentResult
+from repro.graphs import topologies
+from repro.mcf.lp import min_congestion_lp
+from repro.oblivious.racke import RaeckeTreeRouting
+from repro.oblivious.valiant import ValiantHypercubeRouting
+from repro.utils.rng import ensure_rng
+
+_DEFAULTS = {
+    "smoke": {"hypercube_dim": 3, "expander_n": 12, "alphas": [1, 2, 4], "num_demands": 1},
+    "small": {"hypercube_dim": 4, "expander_n": 20, "alphas": [1, 2, 3, 4, 6, 8], "num_demands": 2},
+    "paper": {"hypercube_dim": 6, "expander_n": 48, "alphas": [1, 2, 3, 4, 6, 8, 12], "num_demands": 5},
+}
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    rng = ensure_rng(config.seed)
+    result = ExperimentResult(experiment_id="E1_sparsity_tradeoff")
+
+    dim = config.param("hypercube_dim", _DEFAULTS)
+    expander_n = config.param("expander_n", _DEFAULTS)
+    alphas: List[int] = config.param("alphas", _DEFAULTS)
+    num_demands = config.param("num_demands", _DEFAULTS)
+
+    scenarios = []
+    cube = topologies.hypercube(dim)
+    scenarios.append(("hypercube", cube, ValiantHypercubeRouting(cube, dim, rng=rng)))
+    expander = topologies.random_regular_expander(expander_n, degree=4, rng=rng)
+    scenarios.append(("expander", expander, RaeckeTreeRouting(expander, rng=rng)))
+
+    for label, network, oblivious in scenarios:
+        demands = [random_permutation_demand(network, rng=rng) for _ in range(num_demands)]
+        optima = {}
+        for index, demand in enumerate(demands):
+            optima[index] = min_congestion_lp(network, demand).congestion
+        for alpha in alphas:
+            pairs = {pair for demand in demands for pair in demand.pairs()}
+            system = alpha_sample(oblivious, alpha, pairs=pairs, rng=rng)
+            worst_ratio = 0.0
+            mean_ratio = 0.0
+            for index, demand in enumerate(demands):
+                report = evaluate_path_system(
+                    system, demand, optimal_congestion=optima[index]
+                )
+                worst_ratio = max(worst_ratio, report.ratio)
+                mean_ratio += report.ratio / len(demands)
+            result.add_row(
+                "sparsity_tradeoff",
+                graph=label,
+                n=network.num_vertices,
+                alpha=alpha,
+                sparsity=system.sparsity(),
+                worst_ratio=round(worst_ratio, 3),
+                mean_ratio=round(mean_ratio, 3),
+                upper_prediction=round(predicted_competitiveness(network.num_vertices, alpha), 1),
+                lower_prediction=round(predicted_lower_bound(network.num_vertices, alpha), 3),
+            )
+    result.add_note(
+        "Ratios should decrease sharply with alpha (exponential improvement, Theorem 2.5) "
+        "and sit between the lower-bound curve and the polylog-times-n^{1/alpha} upper shape."
+    )
+    return result
+
+
+__all__ = ["run"]

@@ -1,0 +1,84 @@
+"""E5 — the weak-routing deletion process (Lemma 5.6 / Section 5.1).
+
+Run the fixed-edge-order deletion process on α-special demands and
+measure (a) the fraction of the demand that survives for varying
+congestion allowances γ, and (b) the empirical failure rate of "route at
+least half" across random samples, compared with the Chernoff-style
+predictions of the analysis.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.concentration import main_lemma_failure_bound
+from repro.core.sampling import alpha_plus_cut_sample
+from repro.core.weak_routing import WeakRoutingProcess
+from repro.demands.generators import special_demand_from_pairs
+from repro.experiments.harness import ExperimentConfig, ExperimentResult
+from repro.graphs import topologies
+from repro.graphs.cuts import CutCache
+from repro.mcf.lp import min_congestion_lp
+from repro.oblivious.racke import RaeckeTreeRouting
+from repro.utils.rng import ensure_rng
+
+_DEFAULTS = {
+    "smoke": {"expander_n": 12, "alpha": 2, "num_pairs": 4, "trials": 3, "gammas": [2.0, 4.0]},
+    "small": {"expander_n": 20, "alpha": 3, "num_pairs": 8, "trials": 5, "gammas": [1.0, 2.0, 4.0, 8.0]},
+    "paper": {"expander_n": 48, "alpha": 4, "num_pairs": 16, "trials": 20, "gammas": [1.0, 2.0, 4.0, 8.0, 16.0]},
+}
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    rng = ensure_rng(config.seed)
+    result = ExperimentResult(experiment_id="E5_weak_routing_process")
+
+    n = config.param("expander_n", _DEFAULTS)
+    alpha = config.param("alpha", _DEFAULTS)
+    num_pairs = config.param("num_pairs", _DEFAULTS)
+    trials = config.param("trials", _DEFAULTS)
+    gammas = config.param("gammas", _DEFAULTS)
+
+    network = topologies.random_regular_expander(n, degree=4, rng=rng)
+    cuts = CutCache(network)
+    oblivious = RaeckeTreeRouting(network, rng=rng)
+
+    vertices = network.vertices
+    pairs = []
+    for index in range(num_pairs):
+        source = vertices[index % len(vertices)]
+        target = vertices[(index * 7 + 3) % len(vertices)]
+        if source != target:
+            pairs.append((source, target))
+    demand = special_demand_from_pairs(pairs, alpha, cuts)
+    optimum = min_congestion_lp(network, demand).congestion
+
+    for gamma_multiplier in gammas:
+        gamma = max(gamma_multiplier * optimum, 1e-9)
+        successes = 0
+        fractions = []
+        for _ in range(trials):
+            system = alpha_plus_cut_sample(oblivious, alpha, cut_oracle=cuts, pairs=pairs, rng=rng)
+            process = WeakRoutingProcess(system)
+            outcome = process.run(demand, gamma=gamma)
+            fractions.append(outcome.routed_fraction)
+            if outcome.succeeded:
+                successes += 1
+        failure_rate = 1.0 - successes / trials
+        result.add_row(
+            "weak_routing",
+            n=n,
+            alpha=alpha,
+            support=demand.support_size(),
+            gamma_over_opt=gamma_multiplier,
+            mean_fraction_routed=round(sum(fractions) / len(fractions), 3),
+            empirical_failure_rate=round(failure_rate, 3),
+            lemma_bound_h1=f"{main_lemma_failure_bound(network.num_edges, 1, demand.support_size()):.1e}",
+        )
+    result.add_note(
+        "As gamma grows past a small multiple of the optimum, the mean routed fraction should "
+        "reach 1 and the empirical failure rate should collapse to 0, matching the exponential "
+        "concentration the Main Lemma formalizes (the analytic bound shown is for h = 1)."
+    )
+    return result
+
+
+__all__ = ["run"]

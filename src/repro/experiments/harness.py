@@ -1,0 +1,103 @@
+"""Declarative experiment harness.
+
+Every experiment produces an :class:`ExperimentResult`: a set of named
+tables (rows of dictionaries) plus free-form notes.  The harness renders
+them in the same layout that EXPERIMENTS.md records so paper-vs-measured
+comparisons are mechanical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.utils.tables import Table
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by all experiments.
+
+    Attributes
+    ----------
+    seed:
+        Master random seed (every experiment derives its randomness from it).
+    scale:
+        ``"small"`` (fast, used by the benchmark suite), ``"paper"``
+        (the sizes recorded in EXPERIMENTS.md), or ``"smoke"`` (tiny,
+        used by the test suite).
+    overrides:
+        Free-form per-experiment parameter overrides.
+    """
+
+    seed: int = 0
+    scale: str = "small"
+    overrides: Dict[str, Any] = field(default_factory=dict)
+
+    def param(self, name: str, defaults: Dict[str, Any]) -> Any:
+        """Look up ``name`` in overrides, else in ``defaults[scale]``."""
+        if name in self.overrides:
+            return self.overrides[name]
+        scale_defaults = defaults.get(self.scale, defaults.get("small", {}))
+        if name not in scale_defaults:
+            raise KeyError(f"experiment parameter {name!r} missing for scale {self.scale!r}")
+        return scale_defaults[name]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment: named row-tables plus notes."""
+
+    experiment_id: str
+    tables: Dict[str, List[Dict[str, Any]]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+    config: Optional[ExperimentConfig] = None
+
+    def add_row(self, table: str, **row: Any) -> None:
+        self.tables.setdefault(table, []).append(row)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def table_columns(self, table: str) -> List[str]:
+        rows = self.tables.get(table, [])
+        columns: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        return columns
+
+    def render(self) -> str:
+        """Render every table and note as plain text."""
+        blocks: List[str] = [f"== {self.experiment_id} =="]
+        for name, rows in self.tables.items():
+            columns = self.table_columns(name)
+            table = Table(headers=columns, title=f"-- {name} --")
+            for row in rows:
+                table.add_row(*[row.get(column, "-") for column in columns])
+            blocks.append(table.render())
+        if self.notes:
+            blocks.append("Notes:")
+            blocks.extend(f"  * {note}" for note in self.notes)
+        return "\n\n".join(blocks)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def run_experiment(
+    runner: Callable[[ExperimentConfig], ExperimentResult],
+    config: Optional[ExperimentConfig] = None,
+    print_result: bool = False,
+) -> ExperimentResult:
+    """Run ``runner`` with ``config`` (default config when omitted)."""
+    config = config or ExperimentConfig()
+    result = runner(config)
+    result.config = config
+    if print_result:
+        print(result.render())
+    return result
+
+
+__all__ = ["ExperimentConfig", "ExperimentResult", "run_experiment"]

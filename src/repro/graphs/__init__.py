@@ -1,0 +1,46 @@
+"""Graph substrate: networks, cuts, topology zoo, and lower-bound graphs."""
+
+from repro.graphs.network import Network
+from repro.graphs.cuts import min_cut_value, all_pairs_min_cut, CutCache
+from repro.graphs.topologies import (
+    hypercube,
+    grid_2d,
+    torus_2d,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+    random_regular_expander,
+    fat_tree,
+    two_cliques_bridged,
+    dumbbell,
+    ring_of_cliques,
+    path_of_expanders,
+)
+from repro.graphs.lower_bound import lower_bound_gadget, lower_bound_family
+from repro.graphs.generators import waxman_isp, erdos_renyi_connected, random_geometric_network
+
+__all__ = [
+    "Network",
+    "min_cut_value",
+    "all_pairs_min_cut",
+    "CutCache",
+    "hypercube",
+    "grid_2d",
+    "torus_2d",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "random_regular_expander",
+    "fat_tree",
+    "two_cliques_bridged",
+    "dumbbell",
+    "ring_of_cliques",
+    "path_of_expanders",
+    "lower_bound_gadget",
+    "lower_bound_family",
+    "waxman_isp",
+    "erdos_renyi_connected",
+    "random_geometric_network",
+]

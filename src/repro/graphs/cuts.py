@@ -1,0 +1,95 @@
+"""Minimum-cut computations.
+
+The (α + cut_G)-sparse path systems of the paper (Definition 2.1) need the
+value ``cut_G(s, t)`` — the minimum number of edges (counting capacity)
+whose removal separates ``s`` from ``t``.  This module provides exact
+min-cut values via max-flow, an all-pairs helper, and a memoizing
+:class:`CutCache` used by the sampling code so repeated queries on the
+same network are cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+import networkx as nx
+
+from repro.exceptions import GraphError
+from repro.graphs.network import Network, Vertex
+
+
+def min_cut_value(network: Network, source: Vertex, target: Vertex) -> float:
+    """Exact value of the minimum (s, t)-cut of ``network``.
+
+    The paper defines ``cut_G(v, v) = 0``; we keep that convention.
+    """
+    if source == target:
+        return 0.0
+    if not network.has_vertex(source) or not network.has_vertex(target):
+        raise GraphError("both endpoints must be network vertices")
+    value = nx.maximum_flow_value(
+        network.graph, source, target, capacity="capacity"
+    )
+    return float(value)
+
+
+def all_pairs_min_cut(network: Network) -> Dict[Tuple[Vertex, Vertex], float]:
+    """Min-cut values for every unordered vertex pair.
+
+    Uses a Gomory–Hu tree so only ``n - 1`` max-flow computations are
+    required instead of ``n^2``.
+    """
+    tree = nx.gomory_hu_tree(network.graph, capacity="capacity")
+    cuts: Dict[Tuple[Vertex, Vertex], float] = {}
+    for source, target in network.vertex_pairs():
+        path = nx.shortest_path(tree, source, target, weight=None)
+        value = min(
+            tree[u][v]["weight"] for u, v in zip(path, path[1:])
+        )
+        cuts[(source, target)] = float(value)
+        cuts[(target, source)] = float(value)
+    return cuts
+
+
+class CutCache:
+    """Memoized min-cut oracle for a fixed network.
+
+    Computes values lazily; ``precompute_all`` switches to the Gomory–Hu
+    all-pairs computation which is cheaper when most pairs will be
+    queried (as in (α + cut)-sampling over all pairs).
+    """
+
+    def __init__(self, network: Network):
+        self._network = network
+        self._cache: Dict[Tuple[Hashable, Hashable], float] = {}
+        self._complete = False
+
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    def value(self, source: Vertex, target: Vertex) -> float:
+        if source == target:
+            return 0.0
+        key = (source, target)
+        if key in self._cache:
+            return self._cache[key]
+        if self._complete:
+            raise GraphError(f"pair {key!r} not found in precomputed cut table")
+        value = min_cut_value(self._network, source, target)
+        self._cache[key] = value
+        self._cache[(target, source)] = value
+        return value
+
+    def precompute_all(self) -> None:
+        """Populate the cache for every pair using a Gomory–Hu tree."""
+        if self._complete:
+            return
+        self._cache.update(all_pairs_min_cut(self._network))
+        self._complete = True
+
+    def __call__(self, source: Vertex, target: Vertex) -> float:
+        return self.value(source, target)
+
+
+__all__ = ["min_cut_value", "all_pairs_min_cut", "CutCache"]

@@ -1,0 +1,168 @@
+"""Lower-bound graph constructions from Section 8 of the paper.
+
+Lemma 8.1 builds the gadget ``C(n, k)``: two (n+1)-vertex stars whose
+centers are both connected to ``k`` middle vertices.  Every
+(α - 1 + cut)-sparse semi-oblivious routing on ``C(n, k)`` with
+``k = floor(n^{1/(2α)})`` admits a permutation demand on which it is at
+least ``k / α``-competitive.
+
+Lemma 8.2 chains one copy of ``C(n, floor(n^{1/(2α)}))`` per
+``α ∈ [floor(log n)]`` with bridge edges into the family graph ``G(n)``,
+giving a single graph that is hard for every sparsity simultaneously.
+
+Vertex naming convention for ``C(n, k)``:
+
+* ``("v1",)`` and ``("v2",)`` — the two star centers,
+* ``("a", i)`` for ``i in range(n)`` — leaves of the first star (set V1),
+* ``("b", i)`` for ``i in range(n)`` — leaves of the second star (set V2),
+* ``("m", i)`` for ``i in range(k)`` — the middle vertices (set K).
+
+In ``G(n)`` every vertex is additionally prefixed by its copy index:
+``(copy, original_vertex)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.exceptions import GraphError
+from repro.graphs.network import Network, Vertex
+
+
+@dataclass(frozen=True)
+class GadgetLayout:
+    """Named vertex groups of a ``C(n, k)`` gadget (possibly inside ``G(n)``)."""
+
+    center_left: Vertex
+    center_right: Vertex
+    left_leaves: Tuple[Vertex, ...]
+    right_leaves: Tuple[Vertex, ...]
+    middle: Tuple[Vertex, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.left_leaves)
+
+    @property
+    def k(self) -> int:
+        return len(self.middle)
+
+
+def gadget_size_k(n: int, alpha: int) -> int:
+    """The middle-layer width ``k = floor(n^{1/(2α)})`` used by Lemma 8.1."""
+    if n < 1 or alpha < 1:
+        raise GraphError("need n >= 1 and alpha >= 1")
+    return int(math.floor(n ** (1.0 / (2.0 * alpha))))
+
+
+def lower_bound_gadget(n: int, k: int, prefix: Tuple = ()) -> Tuple[Network, GadgetLayout]:
+    """Build ``C(n, k)`` and return the network together with its layout.
+
+    Parameters
+    ----------
+    n:
+        Number of leaves of each star.
+    k:
+        Number of middle vertices connecting the two star centers.
+    prefix:
+        Optional tuple prepended to every vertex label (used when
+        embedding the gadget into ``G(n)``).
+    """
+    if n < 1 or k < 1:
+        raise GraphError("C(n, k) requires n >= 1 and k >= 1")
+
+    def label(*parts) -> Tuple:
+        return prefix + tuple(parts)
+
+    center_left = label("v1")
+    center_right = label("v2")
+    left_leaves = tuple(label("a", i) for i in range(n))
+    right_leaves = tuple(label("b", i) for i in range(n))
+    middle = tuple(label("m", i) for i in range(k))
+
+    graph = nx.Graph()
+    for leaf in left_leaves:
+        graph.add_edge(center_left, leaf, capacity=1.0)
+    for leaf in right_leaves:
+        graph.add_edge(center_right, leaf, capacity=1.0)
+    for mid in middle:
+        graph.add_edge(center_left, mid, capacity=1.0)
+        graph.add_edge(center_right, mid, capacity=1.0)
+
+    layout = GadgetLayout(
+        center_left=center_left,
+        center_right=center_right,
+        left_leaves=left_leaves,
+        right_leaves=right_leaves,
+        middle=middle,
+    )
+    network = Network(graph, name=f"C({n},{k})")
+    expected_vertices = 2 * n + 2 + k
+    expected_edges = 2 * n + 2 * k
+    if network.num_vertices != expected_vertices or network.num_edges != expected_edges:
+        raise GraphError("C(n, k) construction produced unexpected sizes")
+    return network, layout
+
+
+def lower_bound_family(n: int) -> Tuple[Network, Dict[int, GadgetLayout]]:
+    """Build the family graph ``G(n)`` of Lemma 8.2.
+
+    Returns the network and a map ``alpha -> GadgetLayout`` giving, for
+    each sparsity level ``alpha in [floor(log2 n)]``, the layout of its
+    dedicated ``C(n, floor(n^{1/(2α)}))`` copy.
+    """
+    if n < 2:
+        raise GraphError("G(n) requires n >= 2")
+    max_alpha = int(math.floor(math.log2(n)))
+    if max_alpha < 1:
+        raise GraphError("G(n) requires log2(n) >= 1")
+
+    graph = nx.Graph()
+    layouts: Dict[int, GadgetLayout] = {}
+    anchors: List[Vertex] = []
+    for alpha in range(1, max_alpha + 1):
+        k = max(gadget_size_k(n, alpha), 1)
+        copy_network, layout = lower_bound_gadget(n, k, prefix=(alpha,))
+        for u, v in copy_network.edges:
+            graph.add_edge(u, v, capacity=copy_network.capacity(u, v))
+        layouts[alpha] = layout
+        anchors.append(layout.center_left)
+    for first, second in zip(anchors, anchors[1:]):
+        graph.add_edge(first, second, capacity=1.0)
+    network = Network(graph, name=f"G({n})")
+    return network, layouts
+
+
+def ascii_render_gadget(layout: GadgetLayout, max_leaves: int = 8) -> str:
+    """A small ASCII rendering of a ``C(n, k)`` gadget (Figure 1 style)."""
+    left = min(layout.n, max_leaves)
+    mid = layout.k
+    lines = []
+    lines.append(f"C(n={layout.n}, k={layout.k})")
+    lines.append(
+        "  V1 leaves: "
+        + " ".join("o" for _ in range(left))
+        + (" ..." if layout.n > max_leaves else "")
+    )
+    lines.append("       \\ | /")
+    lines.append("        v1 ---" + "---".join("K" for _ in range(mid)) + "--- v2")
+    lines.append("       / | \\")
+    lines.append(
+        "  V2 leaves: "
+        + " ".join("o" for _ in range(left))
+        + (" ..." if layout.n > max_leaves else "")
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "GadgetLayout",
+    "gadget_size_k",
+    "lower_bound_gadget",
+    "lower_bound_family",
+    "ascii_render_gadget",
+]

@@ -1,0 +1,306 @@
+"""The :class:`Network` abstraction used throughout the library.
+
+The paper works with undirected connected graphs where parallel edges play
+the role of capacities (Section 4).  ``Network`` wraps a
+:class:`networkx.Graph` with per-edge capacities (a capacity-``c`` edge is
+equivalent to ``c`` parallel unit edges), and provides:
+
+* canonical vertex indexing (for LP column layouts),
+* canonical undirected edge keys and directed-arc iteration,
+* path validation (simple, adjacent, correct endpoints),
+* congestion accounting for weighted path collections,
+* cached shortest paths and connectivity checks.
+
+Paths are represented everywhere as tuples of vertices
+``(v0, v1, ..., vk)`` with ``v0`` the source and ``vk`` the destination.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.exceptions import GraphError, PathError
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+Path = Tuple[Vertex, ...]
+
+
+def edge_key(u: Vertex, v: Vertex) -> Edge:
+    """Return the canonical (order-independent) key for the undirected edge {u, v}."""
+    return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+def path_edges(path: Sequence[Vertex]) -> List[Edge]:
+    """Return the canonical edge keys traversed by ``path`` (in order)."""
+    return [edge_key(path[i], path[i + 1]) for i in range(len(path) - 1)]
+
+
+class Network:
+    """An undirected, capacitated, connected communication network.
+
+    Parameters
+    ----------
+    graph:
+        A networkx ``Graph`` or ``MultiGraph``.  Multi-edges are collapsed
+        into a single edge whose capacity is the number of parallel edges
+        (plus any explicit ``capacity`` attributes).
+    name:
+        Optional human-readable topology name.
+    require_connected:
+        When True (default) a :class:`GraphError` is raised for
+        disconnected or empty graphs, matching the paper's standing
+        assumption of connected graphs.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        name: str = "network",
+        require_connected: bool = True,
+    ) -> None:
+        if graph.number_of_nodes() == 0:
+            raise GraphError("network must have at least one vertex")
+        simple = nx.Graph()
+        simple.add_nodes_from(graph.nodes())
+        if isinstance(graph, (nx.MultiGraph, nx.MultiDiGraph)):
+            edge_iter: Iterable = graph.edges(keys=False, data=True)
+        else:
+            edge_iter = graph.edges(data=True)
+        for u, v, data in edge_iter:
+            if u == v:
+                continue  # self-loops carry no traffic
+            capacity = float(data.get("capacity", 1.0))
+            if capacity <= 0:
+                raise GraphError(f"edge {(u, v)} has non-positive capacity {capacity}")
+            if simple.has_edge(u, v):
+                simple[u][v]["capacity"] += capacity
+            else:
+                simple.add_edge(u, v, capacity=capacity)
+        if require_connected and not nx.is_connected(simple):
+            raise GraphError("network must be connected")
+        self._graph = simple
+        self.name = name
+        self._vertices: List[Vertex] = list(simple.nodes())
+        self._vertex_index: Dict[Vertex, int] = {v: i for i, v in enumerate(self._vertices)}
+        self._edges: List[Edge] = [edge_key(u, v) for u, v in simple.edges()]
+        self._edges.sort(key=repr)
+        self._edge_index: Dict[Edge, int] = {e: i for i, e in enumerate(self._edges)}
+        self._capacities: Dict[Edge, float] = {
+            edge_key(u, v): float(simple[u][v]["capacity"]) for u, v in simple.edges()
+        }
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (capacities stored on edges)."""
+        return self._graph
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def vertices(self) -> List[Vertex]:
+        """Vertices in canonical (indexing) order."""
+        return list(self._vertices)
+
+    @property
+    def edges(self) -> List[Edge]:
+        """Canonical undirected edge keys in indexing order."""
+        return list(self._edges)
+
+    def vertex_index(self, vertex: Vertex) -> int:
+        try:
+            return self._vertex_index[vertex]
+        except KeyError as exc:
+            raise GraphError(f"vertex {vertex!r} is not in the network") from exc
+
+    def edge_index(self, u: Vertex, v: Vertex) -> int:
+        key = edge_key(u, v)
+        try:
+            return self._edge_index[key]
+        except KeyError as exc:
+            raise GraphError(f"edge {(u, v)!r} is not in the network") from exc
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        return vertex in self._vertex_index
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return edge_key(u, v) in self._edge_index
+
+    def capacity(self, u: Vertex, v: Vertex) -> float:
+        """Capacity of the undirected edge {u, v}."""
+        key = edge_key(u, v)
+        try:
+            return self._capacities[key]
+        except KeyError as exc:
+            raise GraphError(f"edge {(u, v)!r} is not in the network") from exc
+
+    def capacity_of(self, edge: Edge) -> float:
+        return self.capacity(edge[0], edge[1])
+
+    def neighbors(self, vertex: Vertex) -> List[Vertex]:
+        if not self.has_vertex(vertex):
+            raise GraphError(f"vertex {vertex!r} is not in the network")
+        return list(self._graph.neighbors(vertex))
+
+    def degree(self, vertex: Vertex) -> int:
+        if not self.has_vertex(vertex):
+            raise GraphError(f"vertex {vertex!r} is not in the network")
+        return self._graph.degree(vertex)
+
+    def max_degree(self) -> int:
+        return max(dict(self._graph.degree()).values())
+
+    def arcs(self) -> Iterator[Tuple[Vertex, Vertex]]:
+        """Iterate both orientations of every undirected edge."""
+        for u, v in self._edges:
+            yield (u, v)
+            yield (v, u)
+
+    def vertex_pairs(self, ordered: bool = False) -> Iterator[Tuple[Vertex, Vertex]]:
+        """Iterate distinct vertex pairs (unordered by default)."""
+        vertices = self._vertices
+        for i, u in enumerate(vertices):
+            start = 0 if ordered else i + 1
+            for j in range(start, len(vertices)):
+                v = vertices[j]
+                if u == v:
+                    continue
+                yield (u, v)
+
+    # ------------------------------------------------------------------ #
+    # Path helpers
+    # ------------------------------------------------------------------ #
+    def validate_path(self, path: Sequence[Vertex], source: Vertex = None, target: Vertex = None) -> Path:
+        """Validate ``path`` and return it as a canonical tuple.
+
+        The path must have at least one vertex, be simple (no repeated
+        vertices), have consecutive vertices adjacent in the network, and
+        (when given) match the requested ``source`` and ``target``.
+        """
+        if len(path) == 0:
+            raise PathError("a path must contain at least one vertex")
+        canonical: Path = tuple(path)
+        if len(set(canonical)) != len(canonical):
+            raise PathError(f"path {canonical!r} is not simple")
+        for vertex in canonical:
+            if not self.has_vertex(vertex):
+                raise PathError(f"path vertex {vertex!r} is not in the network")
+        for u, v in zip(canonical, canonical[1:]):
+            if not self.has_edge(u, v):
+                raise PathError(f"path step {(u, v)!r} is not an edge of the network")
+        if source is not None and canonical[0] != source:
+            raise PathError(f"path starts at {canonical[0]!r}, expected {source!r}")
+        if target is not None and canonical[-1] != target:
+            raise PathError(f"path ends at {canonical[-1]!r}, expected {target!r}")
+        return canonical
+
+    def path_length(self, path: Sequence[Vertex]) -> int:
+        """Number of edges (hops) of ``path``."""
+        return max(len(path) - 1, 0)
+
+    def shortest_path(self, source: Vertex, target: Vertex, weight: Optional[str] = None) -> Path:
+        """A shortest (fewest hops, or by ``weight`` attribute) path as a tuple."""
+        if not self.has_vertex(source) or not self.has_vertex(target):
+            raise GraphError("both endpoints must be network vertices")
+        try:
+            nodes = nx.shortest_path(self._graph, source, target, weight=weight)
+        except nx.NetworkXNoPath as exc:  # pragma: no cover - connected by construction
+            raise GraphError(f"no path between {source!r} and {target!r}") from exc
+        return tuple(nodes)
+
+    def distance(self, source: Vertex, target: Vertex) -> int:
+        """Hop distance between two vertices."""
+        return self.path_length(self.shortest_path(source, target))
+
+    def diameter(self) -> int:
+        """Hop diameter of the network."""
+        return nx.diameter(self._graph)
+
+    # ------------------------------------------------------------------ #
+    # Congestion accounting
+    # ------------------------------------------------------------------ #
+    def edge_loads(self, weighted_paths: Iterable[Tuple[Sequence[Vertex], float]]) -> Dict[Edge, float]:
+        """Aggregate per-edge load of a weighted path collection.
+
+        Parameters
+        ----------
+        weighted_paths:
+            Iterable of ``(path, weight)`` pairs.  Weights may be
+            fractional; paths are not re-validated here for speed.
+        """
+        loads: Dict[Edge, float] = {}
+        for path, weight in weighted_paths:
+            if weight == 0:
+                continue
+            for edge in path_edges(path):
+                loads[edge] = loads.get(edge, 0.0) + weight
+        return loads
+
+    def congestion(self, weighted_paths: Iterable[Tuple[Sequence[Vertex], float]]) -> float:
+        """Maximum edge congestion (load divided by capacity) of a path collection."""
+        loads = self.edge_loads(weighted_paths)
+        worst = 0.0
+        for edge, load in loads.items():
+            worst = max(worst, load / self._capacities[edge])
+        return worst
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers and dunder methods
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[Vertex, Vertex]],
+        capacities: Optional[Mapping[Tuple[Vertex, Vertex], float]] = None,
+        name: str = "network",
+    ) -> "Network":
+        """Build a network from an edge list with optional capacities."""
+        graph = nx.Graph()
+        for u, v in edges:
+            capacity = 1.0
+            if capacities is not None:
+                capacity = capacities.get((u, v), capacities.get((v, u), 1.0))
+            if graph.has_edge(u, v):
+                graph[u][v]["capacity"] += capacity
+            else:
+                graph.add_edge(u, v, capacity=capacity)
+        return cls(graph, name=name)
+
+    def relabeled(self, mapping: Mapping[Vertex, Vertex], name: Optional[str] = None) -> "Network":
+        """Return a copy with vertices relabeled through ``mapping``."""
+        relabeled = nx.relabel_nodes(self._graph, dict(mapping), copy=True)
+        return Network(relabeled, name=name or self.name)
+
+    def subnetwork(self, vertices: Iterable[Vertex], name: Optional[str] = None) -> "Network":
+        """Return the induced subnetwork on ``vertices`` (must stay connected)."""
+        vertex_set = set(vertices)
+        missing = vertex_set - set(self._vertices)
+        if missing:
+            raise GraphError(f"vertices {sorted(map(repr, missing))} are not in the network")
+        sub = self._graph.subgraph(vertex_set).copy()
+        return Network(sub, name=name or f"{self.name}-sub")
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return self.has_vertex(vertex)
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __repr__(self) -> str:
+        return (
+            f"Network(name={self.name!r}, n={self.num_vertices}, m={self.num_edges})"
+        )
+
+
+__all__ = ["Network", "Vertex", "Edge", "Path", "edge_key", "path_edges"]

@@ -1,0 +1,240 @@
+"""Topology zoo.
+
+Deterministic topologies used throughout the paper's discussion and our
+experiments:
+
+* hypercubes (the classical oblivious-routing testbed, [VB81], [KKT91]),
+* 2-d grids and tori (the [HKL07] lower-bound topology family),
+* expanders (random regular graphs),
+* fat-trees (data-centre style),
+* clique-pair gadgets (the ``two n-cliques connected by n edges`` example
+  of Section 2.1 motivating (α + cut)-sparsity),
+* dumbbells, rings of cliques and paths of expanders (topologies where
+  congestion-optimal routing has poor dilation — used by the
+  completion-time experiments of Section 7).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+import networkx as nx
+
+from repro.exceptions import GraphError
+from repro.graphs.network import Network
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def hypercube(dimension: int) -> Network:
+    """The ``dimension``-dimensional Boolean hypercube on 2^dimension vertices.
+
+    Vertices are integers in ``[0, 2^dimension)``; two vertices are
+    adjacent when their labels differ in exactly one bit.
+    """
+    if dimension < 1:
+        raise GraphError("hypercube dimension must be at least 1")
+    size = 1 << dimension
+    graph = nx.Graph()
+    graph.add_nodes_from(range(size))
+    for vertex in range(size):
+        for bit in range(dimension):
+            neighbor = vertex ^ (1 << bit)
+            if neighbor > vertex:
+                graph.add_edge(vertex, neighbor, capacity=1.0)
+    return Network(graph, name=f"hypercube-{dimension}")
+
+
+def grid_2d(rows: int, cols: Optional[int] = None) -> Network:
+    """A rows x cols grid graph (no wraparound)."""
+    cols = rows if cols is None else cols
+    if rows < 1 or cols < 1:
+        raise GraphError("grid dimensions must be positive")
+    graph = nx.grid_2d_graph(rows, cols)
+    nx.set_edge_attributes(graph, 1.0, "capacity")
+    return Network(graph, name=f"grid-{rows}x{cols}")
+
+
+def torus_2d(rows: int, cols: Optional[int] = None) -> Network:
+    """A rows x cols torus (grid with wraparound edges)."""
+    cols = rows if cols is None else cols
+    if rows < 3 or cols < 3:
+        raise GraphError("torus dimensions must be at least 3 to avoid parallel edges")
+    graph = nx.grid_2d_graph(rows, cols, periodic=True)
+    nx.set_edge_attributes(graph, 1.0, "capacity")
+    return Network(graph, name=f"torus-{rows}x{cols}")
+
+
+def complete_graph(n: int) -> Network:
+    """The complete graph K_n."""
+    if n < 2:
+        raise GraphError("complete graph needs at least 2 vertices")
+    graph = nx.complete_graph(n)
+    nx.set_edge_attributes(graph, 1.0, "capacity")
+    return Network(graph, name=f"clique-{n}")
+
+
+def cycle_graph(n: int) -> Network:
+    """The cycle C_n."""
+    if n < 3:
+        raise GraphError("cycle needs at least 3 vertices")
+    graph = nx.cycle_graph(n)
+    nx.set_edge_attributes(graph, 1.0, "capacity")
+    return Network(graph, name=f"cycle-{n}")
+
+
+def path_graph(n: int) -> Network:
+    """The path P_n."""
+    if n < 2:
+        raise GraphError("path needs at least 2 vertices")
+    graph = nx.path_graph(n)
+    nx.set_edge_attributes(graph, 1.0, "capacity")
+    return Network(graph, name=f"path-{n}")
+
+
+def star_graph(leaves: int) -> Network:
+    """A star with ``leaves`` leaf vertices (center is vertex 0)."""
+    if leaves < 1:
+        raise GraphError("star needs at least one leaf")
+    graph = nx.star_graph(leaves)
+    nx.set_edge_attributes(graph, 1.0, "capacity")
+    return Network(graph, name=f"star-{leaves}")
+
+
+def random_regular_expander(n: int, degree: int = 4, rng: RngLike = None) -> Network:
+    """A random ``degree``-regular graph — an expander with high probability."""
+    if n <= degree:
+        raise GraphError("need n > degree for a random regular graph")
+    if (n * degree) % 2 != 0:
+        raise GraphError("n * degree must be even")
+    generator = ensure_rng(rng)
+    seed = int(generator.integers(0, 2**31 - 1))
+    for attempt in range(20):
+        graph = nx.random_regular_graph(degree, n, seed=seed + attempt)
+        if nx.is_connected(graph):
+            nx.set_edge_attributes(graph, 1.0, "capacity")
+            return Network(graph, name=f"expander-{n}-d{degree}")
+    raise GraphError("failed to generate a connected random regular graph")
+
+
+def fat_tree(k: int = 4) -> Network:
+    """A k-ary fat-tree (k even): standard 3-layer data-centre topology.
+
+    The topology has ``k`` pods, each with ``k/2`` edge and ``k/2``
+    aggregation switches, and ``(k/2)^2`` core switches.  Hosts are not
+    modelled; traffic terminates at edge switches.
+    """
+    if k < 2 or k % 2 != 0:
+        raise GraphError("fat-tree parameter k must be a positive even integer")
+    half = k // 2
+    graph = nx.Graph()
+    core = [("core", i) for i in range(half * half)]
+    for pod in range(k):
+        aggs = [("agg", pod, i) for i in range(half)]
+        edges = [("edge", pod, i) for i in range(half)]
+        for agg in aggs:
+            for edge in edges:
+                graph.add_edge(agg, edge, capacity=1.0)
+        for agg_index, agg in enumerate(aggs):
+            for j in range(half):
+                core_switch = core[agg_index * half + j]
+                graph.add_edge(agg, core_switch, capacity=1.0)
+    return Network(graph, name=f"fat-tree-{k}")
+
+
+def two_cliques_bridged(clique_size: int, bridges: int) -> Network:
+    """Two ``clique_size``-cliques connected by ``bridges`` disjoint edges.
+
+    This is the Section 2.1 example showing α-sparsity alone cannot be
+    competitive for fractional routings: a single packet between the
+    cliques needs ~``bridges`` candidate paths.
+    """
+    if clique_size < 2 or bridges < 1 or bridges > clique_size:
+        raise GraphError("need 2 <= bridges <= clique_size")
+    graph = nx.Graph()
+    left = [("L", i) for i in range(clique_size)]
+    right = [("R", i) for i in range(clique_size)]
+    for a, b in itertools.combinations(left, 2):
+        graph.add_edge(a, b, capacity=1.0)
+    for a, b in itertools.combinations(right, 2):
+        graph.add_edge(a, b, capacity=1.0)
+    for i in range(bridges):
+        graph.add_edge(("L", i), ("R", i), capacity=1.0)
+    return Network(graph, name=f"two-cliques-{clique_size}-b{bridges}")
+
+
+def dumbbell(side_size: int, bar_length: int = 1) -> Network:
+    """Two cliques joined by a path of ``bar_length`` edges (single bottleneck)."""
+    if side_size < 2 or bar_length < 1:
+        raise GraphError("need side_size >= 2 and bar_length >= 1")
+    graph = nx.Graph()
+    left = [("L", i) for i in range(side_size)]
+    right = [("R", i) for i in range(side_size)]
+    for a, b in itertools.combinations(left, 2):
+        graph.add_edge(a, b, capacity=1.0)
+    for a, b in itertools.combinations(right, 2):
+        graph.add_edge(a, b, capacity=1.0)
+    previous = ("L", 0)
+    for i in range(bar_length - 1):
+        middle = ("M", i)
+        graph.add_edge(previous, middle, capacity=1.0)
+        previous = middle
+    graph.add_edge(previous, ("R", 0), capacity=1.0)
+    return Network(graph, name=f"dumbbell-{side_size}-bar{bar_length}")
+
+
+def ring_of_cliques(num_cliques: int, clique_size: int) -> Network:
+    """``num_cliques`` cliques arranged in a ring, adjacent cliques sharing one edge.
+
+    Congestion-optimal routings may take long detours around the ring, so
+    this family separates congestion-only from completion-time objectives
+    (Section 7 experiments).
+    """
+    if num_cliques < 3 or clique_size < 2:
+        raise GraphError("need at least 3 cliques of size >= 2")
+    graph = nx.Graph()
+    for c in range(num_cliques):
+        members = [(c, i) for i in range(clique_size)]
+        for a, b in itertools.combinations(members, 2):
+            graph.add_edge(a, b, capacity=1.0)
+    for c in range(num_cliques):
+        nxt = (c + 1) % num_cliques
+        graph.add_edge((c, 0), (nxt, 1), capacity=1.0)
+    return Network(graph, name=f"ring-of-cliques-{num_cliques}x{clique_size}")
+
+
+def path_of_expanders(num_blocks: int, block_size: int, degree: int = 4, rng: RngLike = None) -> Network:
+    """``num_blocks`` expander blocks chained by single bridge edges.
+
+    Long hop distances between far-apart blocks combined with narrow
+    bridges create tension between congestion and dilation (Section 7).
+    """
+    if num_blocks < 2:
+        raise GraphError("need at least 2 blocks")
+    generator = ensure_rng(rng)
+    graph = nx.Graph()
+    for block in range(num_blocks):
+        expander = random_regular_expander(block_size, degree=degree, rng=generator)
+        mapping = {v: (block, v) for v in expander.vertices}
+        for u, v in expander.edges:
+            graph.add_edge(mapping[u], mapping[v], capacity=1.0)
+    for block in range(num_blocks - 1):
+        graph.add_edge((block, 0), (block + 1, 1), capacity=1.0)
+    return Network(graph, name=f"path-of-expanders-{num_blocks}x{block_size}")
+
+
+__all__ = [
+    "hypercube",
+    "grid_2d",
+    "torus_2d",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "random_regular_expander",
+    "fat_tree",
+    "two_cliques_bridged",
+    "dumbbell",
+    "ring_of_cliques",
+    "path_of_expanders",
+]

@@ -1,0 +1,32 @@
+"""Multicommodity-flow solvers.
+
+The paper compares semi-oblivious routings against the offline optimum
+``opt_{G,R}(d)``: the minimum achievable maximum edge congestion over all
+fractional routings of the demand.  This package provides:
+
+* :func:`~repro.mcf.lp.min_congestion_lp` — the exact edge-flow LP
+  (scipy / HiGHS), returning both the optimum value and an optimal
+  routing (via flow decomposition),
+* :func:`~repro.mcf.path_lp.min_congestion_on_paths` — the path-based LP
+  restricted to a candidate path system (this computes ``cong_R(P, d)``,
+  the Stage-4 adaptive rate optimization),
+* :func:`~repro.mcf.mwu.approximate_min_congestion` — a Garg–Könemann /
+  Fleischer multiplicative-weights approximation, used for large
+  instances and as an LP-free cross-check,
+* :func:`~repro.mcf.integral.exact_integral_optimum` — brute-force
+  integral optimum for tiny instances (used by lower-bound tests).
+"""
+
+from repro.mcf.lp import min_congestion_lp, MinCongestionResult
+from repro.mcf.path_lp import min_congestion_on_paths, PathLPResult
+from repro.mcf.mwu import approximate_min_congestion
+from repro.mcf.integral import exact_integral_optimum
+
+__all__ = [
+    "min_congestion_lp",
+    "MinCongestionResult",
+    "min_congestion_on_paths",
+    "PathLPResult",
+    "approximate_min_congestion",
+    "exact_integral_optimum",
+]

@@ -1,0 +1,83 @@
+"""Exact integral optimum for tiny instances.
+
+The integral optimum ``opt_{G,Z}(d)`` (Section 4) minimizes congestion
+over routings that send each unit of an integral demand along a single
+path.  The problem is NP-hard in general; this module provides an exact
+solver by exhaustive search over candidate-path assignments, intended for
+the small lower-bound gadgets and unit tests (the lower-bound experiments
+also know their integral optimum analytically — it is 1 on ``C(n, k)``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.demands.demand import Demand
+from repro.exceptions import DemandError, SolverError
+from repro.graphs.network import Network, Path, Vertex, path_edges
+
+
+def _candidate_paths(network: Network, source: Vertex, target: Vertex, limit: int) -> List[Path]:
+    paths = []
+    for nodes in nx.shortest_simple_paths(network.graph, source, target):
+        paths.append(tuple(nodes))
+        if len(paths) >= limit:
+            break
+    return paths
+
+
+def exact_integral_optimum(
+    network: Network,
+    demand: Demand,
+    paths_per_pair: int = 6,
+    max_assignments: int = 200_000,
+) -> Tuple[float, Dict[Tuple[Vertex, Vertex], Path]]:
+    """Exact integral min-congestion for a small {0,1}-demand.
+
+    Enumerates, for every demanded pair, up to ``paths_per_pair`` shortest
+    simple paths, and exhaustively searches over joint assignments.  Both
+    the demand (must be {0,1}) and the search space (bounded by
+    ``max_assignments``) must be small.
+
+    Returns the optimal congestion and one optimal assignment.
+    """
+    if not demand.is_zero_one():
+        raise DemandError("exact integral optimum requires a {0,1}-demand")
+    pairs = demand.pairs()
+    if not pairs:
+        return 0.0, {}
+    candidates = [
+        _candidate_paths(network, source, target, paths_per_pair) for source, target in pairs
+    ]
+    search_space = 1
+    for options in candidates:
+        search_space *= max(len(options), 1)
+        if search_space > max_assignments:
+            raise SolverError(
+                f"search space {search_space} exceeds max_assignments={max_assignments}"
+            )
+    best_congestion = float("inf")
+    best_assignment: Optional[Sequence[Path]] = None
+    capacities = {edge: network.capacity_of(edge) for edge in network.edges}
+    for assignment in itertools.product(*candidates):
+        loads: Dict[Tuple[Vertex, Vertex], float] = {}
+        for path in assignment:
+            for edge in path_edges(path):
+                loads[edge] = loads.get(edge, 0.0) + 1.0
+        congestion = max(
+            (load / capacities[edge] for edge, load in loads.items()), default=0.0
+        )
+        if congestion < best_congestion:
+            best_congestion = congestion
+            best_assignment = assignment
+            if best_congestion <= 1.0:  # cannot do better than 1 for a {0,1}-demand on unit capacities
+                if all(capacities[edge] <= 1.0 for edge in capacities):
+                    break
+    assert best_assignment is not None
+    return best_congestion, dict(zip(pairs, best_assignment))
+
+
+__all__ = ["exact_integral_optimum"]

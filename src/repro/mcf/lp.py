@@ -1,0 +1,218 @@
+"""Exact min-congestion multicommodity flow via linear programming.
+
+The offline optimum ``opt_{G,R}(d)`` (Section 4) is the value of the LP
+
+.. math::
+
+    \\min z \\quad \\text{s.t.} \\quad
+    \\sum_k (f_k(u,v) + f_k(v,u)) \\le z \\cdot c(u,v) \\;\\forall \\{u,v\\},
+    \\qquad f_k \\text{ routes } d_k \\text{ units from } s_k \\text{ to } t_k.
+
+We solve the arc-flow formulation with ``scipy.optimize.linprog`` (HiGHS)
+using sparse constraint matrices, and optionally decompose the optimal
+edge flows into a :class:`~repro.core.routing.Routing` (weighted paths per
+commodity) so the optimum can be *used*, not just reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.core.routing import Routing
+from repro.demands.demand import Demand
+from repro.exceptions import InfeasibleError, SolverError
+from repro.graphs.network import Network, Vertex
+from repro.oblivious.electrical import decompose_flow
+
+
+@dataclass
+class MinCongestionResult:
+    """Result of the min-congestion LP.
+
+    Attributes
+    ----------
+    congestion:
+        The optimal maximum edge congestion ``opt_{G,R}(d)``.
+    routing:
+        An optimal fractional routing (``None`` unless requested).
+    edge_congestions:
+        Per-edge congestion of the optimal flow.
+    """
+
+    congestion: float
+    routing: Optional[Routing]
+    edge_congestions: Dict[Tuple[Vertex, Vertex], float]
+
+
+def min_congestion_lp(
+    network: Network,
+    demand: Demand,
+    return_routing: bool = False,
+) -> MinCongestionResult:
+    """Solve the exact fractional min-congestion MCF for ``demand``.
+
+    Parameters
+    ----------
+    network:
+        The network (capacities taken from edge attributes).
+    demand:
+        The demand matrix; an empty demand yields congestion 0.
+    return_routing:
+        When True, decompose the optimal flow into per-commodity path
+        distributions and return them as a :class:`Routing`.
+    """
+    commodities = [(pair, amount) for pair, amount in demand.items() if amount > 0]
+    if not commodities:
+        return MinCongestionResult(congestion=0.0, routing=None, edge_congestions={})
+
+    n = network.num_vertices
+    edges = network.edges
+    m = len(edges)
+    arcs: List[Tuple[Vertex, Vertex]] = []
+    for u, v in edges:
+        arcs.append((u, v))
+        arcs.append((v, u))
+    num_arcs = len(arcs)
+    k = len(commodities)
+    num_vars = k * num_arcs + 1  # + z
+    z_index = num_vars - 1
+
+    def var(commodity: int, arc: int) -> int:
+        return commodity * num_arcs + arc
+
+    # Objective: minimize z.
+    cost = np.zeros(num_vars)
+    cost[z_index] = 1.0
+
+    # Equality constraints: flow conservation per commodity per vertex.
+    eq_rows: List[int] = []
+    eq_cols: List[int] = []
+    eq_vals: List[float] = []
+    eq_rhs = np.zeros(k * n)
+    for commodity_index, ((source, target), amount) in enumerate(commodities):
+        source_row = commodity_index * n + network.vertex_index(source)
+        target_row = commodity_index * n + network.vertex_index(target)
+        eq_rhs[source_row] = amount
+        eq_rhs[target_row] = -amount
+        for arc_index, (u, v) in enumerate(arcs):
+            column = var(commodity_index, arc_index)
+            row_u = commodity_index * n + network.vertex_index(u)
+            row_v = commodity_index * n + network.vertex_index(v)
+            eq_rows.append(row_u)
+            eq_cols.append(column)
+            eq_vals.append(1.0)  # outgoing from u
+            eq_rows.append(row_v)
+            eq_cols.append(column)
+            eq_vals.append(-1.0)  # incoming to v
+    a_eq = sparse.coo_matrix((eq_vals, (eq_rows, eq_cols)), shape=(k * n, num_vars)).tocsr()
+
+    # Inequality constraints: capacity coupling per undirected edge.
+    ub_rows: List[int] = []
+    ub_cols: List[int] = []
+    ub_vals: List[float] = []
+    for edge_index, (u, v) in enumerate(edges):
+        capacity = network.capacity(u, v)
+        forward = 2 * edge_index
+        backward = 2 * edge_index + 1
+        for commodity_index in range(k):
+            ub_rows.append(edge_index)
+            ub_cols.append(var(commodity_index, forward))
+            ub_vals.append(1.0)
+            ub_rows.append(edge_index)
+            ub_cols.append(var(commodity_index, backward))
+            ub_vals.append(1.0)
+        ub_rows.append(edge_index)
+        ub_cols.append(z_index)
+        ub_vals.append(-capacity)
+    a_ub = sparse.coo_matrix((ub_vals, (ub_rows, ub_cols)), shape=(m, num_vars)).tocsr()
+    b_ub = np.zeros(m)
+
+    bounds = [(0, None)] * num_vars
+    result = linprog(
+        cost,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=eq_rhs,
+        bounds=bounds,
+        method="highs",
+    )
+    if result.status == 2:
+        raise InfeasibleError("min-congestion LP is infeasible (disconnected demand?)")
+    if not result.success:
+        raise SolverError(f"min-congestion LP failed: {result.message}")
+
+    solution = result.x
+    congestion = float(solution[z_index])
+
+    # Per-edge congestion of the optimal flow.
+    edge_congestions: Dict[Tuple[Vertex, Vertex], float] = {}
+    for edge_index, (u, v) in enumerate(edges):
+        load = 0.0
+        for commodity_index in range(k):
+            load += solution[var(commodity_index, 2 * edge_index)]
+            load += solution[var(commodity_index, 2 * edge_index + 1)]
+        edge_congestions[(u, v)] = load / network.capacity(u, v)
+
+    routing = None
+    if return_routing:
+        routing = _decompose_to_routing(network, commodities, arcs, solution, var)
+
+    return MinCongestionResult(
+        congestion=congestion,
+        routing=routing,
+        edge_congestions=edge_congestions,
+    )
+
+
+def _decompose_to_routing(
+    network: Network,
+    commodities: List[Tuple[Tuple[Vertex, Vertex], float]],
+    arcs: List[Tuple[Vertex, Vertex]],
+    solution: np.ndarray,
+    var,
+) -> Routing:
+    """Turn the optimal arc flows into per-pair path distributions."""
+    distributions = {}
+    for commodity_index, ((source, target), amount) in enumerate(commodities):
+        flows: Dict[Tuple[Vertex, Vertex], float] = {}
+        for arc_index, arc in enumerate(arcs):
+            value = float(solution[var(commodity_index, arc_index)])
+            if value > 1e-9:
+                flows[arc] = flows.get(arc, 0.0) + value
+        # Cancel opposite-direction flow before decomposing.
+        for (u, v) in list(flows.keys()):
+            if (v, u) in flows and (u, v) in flows:
+                forward, backward = flows[(u, v)], flows[(v, u)]
+                net = forward - backward
+                if net > 0:
+                    flows[(u, v)] = net
+                    flows.pop((v, u), None)
+                elif net < 0:
+                    flows[(v, u)] = -net
+                    flows.pop((u, v), None)
+                else:
+                    flows.pop((u, v), None)
+                    flows.pop((v, u), None)
+        decomposition = decompose_flow(flows, source, target)
+        if not decomposition:
+            # Fall back to a shortest path carrying everything (numerical residue).
+            decomposition = [(network.shortest_path(source, target), amount)]
+        total = sum(weight for _, weight in decomposition)
+        distributions[(source, target)] = {
+            path: weight / total for path, weight in decomposition
+        }
+    return Routing(network, distributions)
+
+
+def optimal_congestion(network: Network, demand: Demand) -> float:
+    """Shortcut returning only ``opt_{G,R}(d)``."""
+    return min_congestion_lp(network, demand, return_routing=False).congestion
+
+
+__all__ = ["min_congestion_lp", "MinCongestionResult", "optimal_congestion"]

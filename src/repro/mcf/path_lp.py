@@ -1,0 +1,253 @@
+"""Min-congestion routing restricted to a candidate path system.
+
+This is the Stage-4 computation of the paper: once the demand is
+revealed, the semi-oblivious router optimizes the split of each pair's
+demand over its pre-installed candidate paths so as to minimize the
+maximum edge congestion.  Formally it computes
+
+.. math::
+
+    cong_R(P, d) = \\min_{R \\text{ a routing on } P} cong(R, d)
+
+(Definition 5.1) via the path-based LP with one variable per (pair,
+candidate path) plus the congestion variable ``z``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.core.path_system import PathSystem
+from repro.core.routing import Routing
+from repro.demands.demand import Demand
+from repro.exceptions import InfeasibleError, SolverError
+from repro.graphs.network import Network, Path, Vertex, path_edges
+
+
+@dataclass
+class PathLPResult:
+    """Result of the path-restricted min-congestion LP.
+
+    Attributes
+    ----------
+    congestion:
+        ``cong_R(P, d)`` — the best congestion achievable on the system.
+    routing:
+        The optimal routing on the path system (``None`` for empty demands).
+    edge_congestions:
+        Per-edge congestion under the optimal rates.
+    """
+
+    congestion: float
+    routing: Optional[Routing]
+    edge_congestions: Dict[Tuple[Vertex, Vertex], float]
+
+
+def min_congestion_on_paths(
+    system: PathSystem,
+    demand: Demand,
+    return_routing: bool = True,
+) -> PathLPResult:
+    """Optimally split ``demand`` over the candidate paths of ``system``.
+
+    Raises
+    ------
+    InfeasibleError
+        When some demanded pair has no candidate path in the system.
+    """
+    network = system.network
+    commodities: List[Tuple[Tuple[Vertex, Vertex], float, List[Path]]] = []
+    for pair, amount in demand.items():
+        if amount <= 0:
+            continue
+        paths = system.paths(*pair)
+        if not paths:
+            raise InfeasibleError(f"path system has no candidate path for pair {pair!r}")
+        commodities.append((pair, amount, paths))
+    if not commodities:
+        return PathLPResult(congestion=0.0, routing=None, edge_congestions={})
+
+    # Variable layout: one weight per (commodity, path), then z.
+    offsets: List[int] = []
+    total_vars = 0
+    for _, _, paths in commodities:
+        offsets.append(total_vars)
+        total_vars += len(paths)
+    z_index = total_vars
+    num_vars = total_vars + 1
+
+    cost = np.zeros(num_vars)
+    cost[z_index] = 1.0
+
+    # Equality: per commodity, path weights sum to the demanded amount.
+    eq_rows: List[int] = []
+    eq_cols: List[int] = []
+    eq_vals: List[float] = []
+    eq_rhs = np.zeros(len(commodities))
+    for commodity_index, (pair, amount, paths) in enumerate(commodities):
+        eq_rhs[commodity_index] = amount
+        for path_offset in range(len(paths)):
+            eq_rows.append(commodity_index)
+            eq_cols.append(offsets[commodity_index] + path_offset)
+            eq_vals.append(1.0)
+    a_eq = sparse.coo_matrix(
+        (eq_vals, (eq_rows, eq_cols)), shape=(len(commodities), num_vars)
+    ).tocsr()
+
+    # Inequality: per edge, total load <= z * capacity.
+    edge_index_map = {edge: idx for idx, edge in enumerate(network.edges)}
+    ub_rows: List[int] = []
+    ub_cols: List[int] = []
+    ub_vals: List[float] = []
+    for commodity_index, (pair, amount, paths) in enumerate(commodities):
+        for path_offset, path in enumerate(paths):
+            column = offsets[commodity_index] + path_offset
+            for edge in path_edges(path):
+                ub_rows.append(edge_index_map[edge])
+                ub_cols.append(column)
+                ub_vals.append(1.0)
+    for edge, row in edge_index_map.items():
+        ub_rows.append(row)
+        ub_cols.append(z_index)
+        ub_vals.append(-network.capacity_of(edge))
+    a_ub = sparse.coo_matrix(
+        (ub_vals, (ub_rows, ub_cols)), shape=(len(edge_index_map), num_vars)
+    ).tocsr()
+    b_ub = np.zeros(len(edge_index_map))
+
+    result = linprog(
+        cost,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=eq_rhs,
+        bounds=[(0, None)] * num_vars,
+        method="highs",
+    )
+    if result.status == 2:
+        raise InfeasibleError("path LP infeasible")
+    if not result.success:
+        raise SolverError(f"path LP failed: {result.message}")
+
+    solution = result.x
+    congestion = float(solution[z_index])
+
+    edge_congestions: Dict[Tuple[Vertex, Vertex], float] = {}
+    routing = None
+    distributions = {}
+    for commodity_index, (pair, amount, paths) in enumerate(commodities):
+        weights = {}
+        for path_offset, path in enumerate(paths):
+            weight = float(solution[offsets[commodity_index] + path_offset])
+            if weight > 1e-12:
+                weights[path] = weight
+                for edge in path_edges(path):
+                    edge_congestions[edge] = edge_congestions.get(edge, 0.0) + weight
+        if not weights:
+            # Degenerate LP output; route everything on the first path.
+            weights = {paths[0]: amount}
+            for edge in path_edges(paths[0]):
+                edge_congestions[edge] = edge_congestions.get(edge, 0.0) + amount
+        total = sum(weights.values())
+        distributions[pair] = {path: weight / total for path, weight in weights.items()}
+    for edge in list(edge_congestions):
+        edge_congestions[edge] /= network.capacity_of(edge)
+    if return_routing:
+        routing = Routing(network, distributions)
+
+    return PathLPResult(
+        congestion=congestion,
+        routing=routing,
+        edge_congestions=edge_congestions,
+    )
+
+
+def greedy_rates(system: PathSystem, demand: Demand, iterations: int = 200) -> PathLPResult:
+    """An LP-free approximate rate adaptation (iterative load balancing).
+
+    Starts from an even split per pair, then repeatedly moves a small
+    fraction of every pair's traffic from its currently most congested
+    candidate path to its least congested one.  Used as a cross-check and
+    as a fast fallback for very large instances.
+    """
+    network = system.network
+    commodities = []
+    for pair, amount in demand.items():
+        if amount <= 0:
+            continue
+        paths = system.paths(*pair)
+        if not paths:
+            raise InfeasibleError(f"path system has no candidate path for pair {pair!r}")
+        commodities.append((pair, amount, paths))
+    if not commodities:
+        return PathLPResult(congestion=0.0, routing=None, edge_congestions={})
+
+    weights: Dict[Tuple[Tuple[Vertex, Vertex], Path], float] = {}
+    for pair, amount, paths in commodities:
+        for path in paths:
+            weights[(pair, path)] = amount / len(paths)
+
+    edge_capacity = {edge: network.capacity_of(edge) for edge in network.edges}
+
+    def edge_loads() -> Dict[Tuple[Vertex, Vertex], float]:
+        loads: Dict[Tuple[Vertex, Vertex], float] = {}
+        for (pair, path), weight in weights.items():
+            if weight <= 0:
+                continue
+            for edge in path_edges(path):
+                loads[edge] = loads.get(edge, 0.0) + weight
+        return loads
+
+    step = 0.25
+    for _ in range(iterations):
+        loads = edge_loads()
+        improved = False
+        for pair, amount, paths in commodities:
+            if len(paths) < 2:
+                continue
+
+            def path_cost(path: Path) -> float:
+                return max(
+                    (loads.get(edge, 0.0) / edge_capacity[edge] for edge in path_edges(path)),
+                    default=0.0,
+                )
+
+            worst = max(paths, key=path_cost)
+            best = min(paths, key=path_cost)
+            if path_cost(worst) <= path_cost(best) + 1e-12 or worst == best:
+                continue
+            move = step * weights[(pair, worst)]
+            if move <= 1e-15:
+                continue
+            weights[(pair, worst)] -= move
+            weights[(pair, best)] += move
+            for edge in path_edges(worst):
+                loads[edge] = loads.get(edge, 0.0) - move
+            for edge in path_edges(best):
+                loads[edge] = loads.get(edge, 0.0) + move
+            improved = True
+        if not improved:
+            break
+        step = max(step * 0.97, 0.02)
+
+    loads = edge_loads()
+    edge_congestions = {edge: load / edge_capacity[edge] for edge, load in loads.items()}
+    congestion = max(edge_congestions.values(), default=0.0)
+    distributions = {}
+    for pair, amount, paths in commodities:
+        pair_weights = {path: weights[(pair, path)] for path in paths if weights[(pair, path)] > 1e-15}
+        total = sum(pair_weights.values())
+        if total <= 0:
+            pair_weights = {paths[0]: 1.0}
+            total = 1.0
+        distributions[pair] = {path: weight / total for path, weight in pair_weights.items()}
+    routing = Routing(network, distributions)
+    return PathLPResult(congestion=congestion, routing=routing, edge_congestions=edge_congestions)
+
+
+__all__ = ["min_congestion_on_paths", "greedy_rates", "PathLPResult"]

@@ -1,0 +1,95 @@
+"""The oblivious-routing builder interface.
+
+An oblivious routing is just a :class:`~repro.core.routing.Routing`
+object.  Builders differ in *how* they pick the path distribution for a
+pair: each builder implements ``distribution_for(source, target)`` and
+the base class assembles full or partial routings from it, caching the
+per-pair work so that repeated sampling from the same routing is cheap.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.routing import Routing
+from repro.exceptions import RoutingError
+from repro.graphs.network import Network, Path, Vertex
+
+Pair = Tuple[Vertex, Vertex]
+
+
+class ObliviousRoutingBuilder(abc.ABC):
+    """Base class for oblivious routing constructions.
+
+    Subclasses implement :meth:`distribution_for`.  The builder caches
+    per-pair distributions; :meth:`routing` materializes a
+    :class:`Routing` over a requested pair set (default: all ordered
+    pairs), and :meth:`routing_for_demand` over a demand's support only.
+    """
+
+    #: Human-readable scheme name (overridden by subclasses).
+    name: str = "oblivious"
+
+    def __init__(self, network: Network) -> None:
+        self._network = network
+        self._cache: Dict[Pair, Dict[Path, float]] = {}
+
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    @abc.abstractmethod
+    def distribution_for(self, source: Vertex, target: Vertex) -> Dict[Path, float]:
+        """Return the path distribution ``R(source, target)``.
+
+        Implementations must return a nonempty mapping from simple
+        (source, target)-paths to positive probabilities summing to one.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Materialization
+    # ------------------------------------------------------------------ #
+    def pair_distribution(self, source: Vertex, target: Vertex) -> Dict[Path, float]:
+        """Cached access to ``distribution_for``."""
+        if source == target:
+            raise RoutingError("oblivious routings do not route a vertex to itself")
+        key = (source, target)
+        if key not in self._cache:
+            distribution = self.distribution_for(source, target)
+            if not distribution:
+                raise RoutingError(f"builder produced an empty distribution for {key!r}")
+            self._cache[key] = dict(distribution)
+        return dict(self._cache[key])
+
+    def routing(self, pairs: Optional[Iterable[Pair]] = None) -> Routing:
+        """Materialize a routing over ``pairs`` (default: every ordered pair)."""
+        if pairs is None:
+            pairs = self._network.vertex_pairs(ordered=True)
+        distributions = {}
+        for source, target in pairs:
+            if source == target:
+                continue
+            distributions[(source, target)] = self.pair_distribution(source, target)
+        return Routing(self._network, distributions)
+
+    def routing_for_demand(self, demand) -> Routing:
+        """Materialize a routing covering exactly the demand's support."""
+        return self.routing(pairs=demand.pairs())
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(network={self._network.name!r})"
+
+
+def build_routing_for_pairs(
+    builder: ObliviousRoutingBuilder,
+    pairs: Iterable[Pair],
+) -> Routing:
+    """Convenience wrapper: materialize ``builder`` over an explicit pair list."""
+    return builder.routing(pairs=list(pairs))
+
+
+__all__ = ["ObliviousRoutingBuilder", "build_routing_for_pairs", "Pair"]

@@ -1,0 +1,138 @@
+"""Valiant–Brebner oblivious routing on the hypercube ([VB81]).
+
+"Valiant's trick": to route from ``s`` to ``t``, first fix the bits from
+``s`` toward a uniformly random intermediate vertex ``w`` (left-to-right
+bit fixing), then fix the bits from ``w`` toward ``t``.  For any
+permutation demand the expected congestion of every edge is O(1), making
+the scheme (poly log n)-competitive — the canonical example of a
+competitive oblivious routing that is *not* sparse (its per-pair support
+has ~n paths), which is exactly what Section 5 samples from.
+
+The exact distribution has exponentially many support paths, so the
+builder exposes two modes:
+
+* ``distribution_for`` enumerates the support only for small dimensions
+  (it is used by tests on tiny cubes), capped by ``max_support``;
+* ``sample_path`` draws a path from the exact distribution without ever
+  materializing it — this is what α-sampling uses, and it works for any
+  dimension.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.exceptions import GraphError, RoutingError
+from repro.graphs.network import Network, Path, Vertex
+from repro.oblivious.base import ObliviousRoutingBuilder
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def bit_fixing_path(source: int, target: int, dimension: int) -> Tuple[int, ...]:
+    """The left-to-right bit-fixing path from ``source`` to ``target``."""
+    path = [source]
+    current = source
+    for bit in range(dimension):
+        mask = 1 << bit
+        if (current & mask) != (target & mask):
+            current ^= mask
+            path.append(current)
+    return tuple(path)
+
+
+class ValiantHypercubeRouting(ObliviousRoutingBuilder):
+    """Valiant's two-phase randomized routing on a ``dimension``-cube.
+
+    Parameters
+    ----------
+    network:
+        A hypercube built by :func:`repro.graphs.topologies.hypercube`.
+    dimension:
+        The cube dimension; validated against the network size.
+    max_support:
+        Cap on the number of intermediate vertices enumerated when
+        materializing the exact distribution (safety guard for tests on
+        small cubes; sampling never enumerates).
+    rng:
+        Generator used by :meth:`sample_path`.
+    """
+
+    name = "valiant-hypercube"
+
+    def __init__(
+        self,
+        network: Network,
+        dimension: int,
+        max_support: int = 4096,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__(network)
+        if network.num_vertices != (1 << dimension):
+            raise GraphError(
+                f"network has {network.num_vertices} vertices, expected {1 << dimension}"
+            )
+        self._dimension = dimension
+        self._max_support = max_support
+        self._rng = ensure_rng(rng)
+
+    @property
+    def dimension(self) -> int:
+        return self._dimension
+
+    # ------------------------------------------------------------------ #
+    # Exact distribution (small cubes only)
+    # ------------------------------------------------------------------ #
+    def distribution_for(self, source: Vertex, target: Vertex) -> Dict[Path, float]:
+        size = 1 << self._dimension
+        if size > self._max_support:
+            raise RoutingError(
+                "exact Valiant distribution is too large to materialize; "
+                "use sample_path / alpha_sample instead"
+            )
+        distribution: Dict[Path, float] = {}
+        probability = 1.0 / size
+        for intermediate in range(size):
+            path = self._two_phase_path(int(source), int(target), intermediate)
+            distribution[path] = distribution.get(path, 0.0) + probability
+        return distribution
+
+    # ------------------------------------------------------------------ #
+    # Sampling (any dimension)
+    # ------------------------------------------------------------------ #
+    def sample_path(self, source: Vertex, target: Vertex, rng: RngLike = None) -> Path:
+        """Draw one path from the exact Valiant distribution."""
+        generator = ensure_rng(rng) if rng is not None else self._rng
+        intermediate = int(generator.integers(0, 1 << self._dimension))
+        return self._two_phase_path(int(source), int(target), intermediate)
+
+    def _two_phase_path(self, source: int, target: int, intermediate: int) -> Path:
+        first = bit_fixing_path(source, intermediate, self._dimension)
+        second = bit_fixing_path(intermediate, target, self._dimension)
+        combined: List[int] = list(first) + list(second[1:])
+        return self._make_simple(combined)
+
+    @staticmethod
+    def _make_simple(walk: List[int]) -> Path:
+        """Shortcut a walk into a simple path by removing loops.
+
+        The concatenation of the two bit-fixing phases can revisit a
+        vertex (for example when the intermediate shares bits with both
+        endpoints); shortcutting removes the excursion between the two
+        visits, which never increases the congestion contribution.
+        """
+        last_seen = {}
+        simple: List[int] = []
+        for vertex in walk:
+            if vertex in last_seen:
+                # Remove the loop: drop everything after the first visit.
+                cut = last_seen[vertex]
+                for removed in simple[cut + 1 :]:
+                    last_seen.pop(removed, None)
+                simple = simple[: cut + 1]
+            else:
+                last_seen[vertex] = len(simple)
+                simple.append(vertex)
+        return tuple(simple)
+
+
+__all__ = ["ValiantHypercubeRouting", "bit_fixing_path"]

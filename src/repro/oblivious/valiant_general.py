@@ -1,0 +1,90 @@
+"""Valiant-style load balancing on general graphs (the "VLB" baseline).
+
+The hypercube-specific Valiant routing generalizes to arbitrary graphs:
+route from ``s`` to a uniformly random intermediate vertex ``w`` along a
+shortest path, then from ``w`` to ``t`` along a shortest path.  This is
+the classical "Valiant load balancing" scheme used as a baseline in
+traffic engineering evaluations (SMORE calls it VLB); it trades path
+length (dilation up to twice the diameter) for load spreading.
+
+Like the hypercube version, the exact distribution has up to ``n``
+support paths per pair, so the builder supports both exact
+materialization (capped) and direct sampling for use with α-samples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.exceptions import RoutingError
+from repro.graphs.network import Network, Path, Vertex
+from repro.oblivious.base import ObliviousRoutingBuilder
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def _splice(first: Path, second: Path) -> Path:
+    """Concatenate two paths sharing an endpoint and shortcut repeated vertices."""
+    walk: List[Vertex] = list(first) + list(second[1:])
+    last_seen: Dict[Vertex, int] = {}
+    simple: List[Vertex] = []
+    for vertex in walk:
+        if vertex in last_seen:
+            cut = last_seen[vertex]
+            for removed in simple[cut + 1 :]:
+                last_seen.pop(removed, None)
+            simple = simple[: cut + 1]
+        else:
+            last_seen[vertex] = len(simple)
+            simple.append(vertex)
+    return tuple(simple)
+
+
+class ValiantGeneralRouting(ObliviousRoutingBuilder):
+    """Valiant load balancing via random intermediate vertices on any graph.
+
+    Parameters
+    ----------
+    network:
+        Underlying network.
+    max_support:
+        Cap on the number of intermediate vertices enumerated when the
+        exact distribution is materialized; sampling never enumerates.
+    rng:
+        Randomness used by :meth:`sample_path`.
+    """
+
+    name = "valiant-general"
+
+    def __init__(self, network: Network, max_support: int = 512, rng: RngLike = None) -> None:
+        super().__init__(network)
+        self._max_support = max_support
+        self._rng = ensure_rng(rng)
+
+    def distribution_for(self, source: Vertex, target: Vertex) -> Dict[Path, float]:
+        vertices = self.network.vertices
+        if len(vertices) > self._max_support:
+            raise RoutingError(
+                "exact Valiant-general distribution is too large to materialize; "
+                "use sample_path / alpha_sample instead"
+            )
+        probability = 1.0 / len(vertices)
+        distribution: Dict[Path, float] = {}
+        for intermediate in vertices:
+            path = self._two_phase_path(source, target, intermediate)
+            distribution[path] = distribution.get(path, 0.0) + probability
+        return distribution
+
+    def sample_path(self, source: Vertex, target: Vertex, rng: RngLike = None) -> Path:
+        """Draw one path: random intermediate vertex, shortest paths both phases."""
+        generator = ensure_rng(rng) if rng is not None else self._rng
+        vertices = self.network.vertices
+        intermediate = vertices[int(generator.integers(0, len(vertices)))]
+        return self._two_phase_path(source, target, intermediate)
+
+    def _two_phase_path(self, source: Vertex, target: Vertex, intermediate: Vertex) -> Path:
+        first = self.network.shortest_path(source, intermediate)
+        second = self.network.shortest_path(intermediate, target)
+        return _splice(first, second)
+
+
+__all__ = ["ValiantGeneralRouting"]

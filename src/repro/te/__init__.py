@@ -1,0 +1,27 @@
+"""Traffic-engineering simulation (the SMORE consequence of Section 1.1)."""
+
+from repro.te.simulation import TrafficEngineeringSimulator, SchemeResult, SimulationReport
+from repro.te.metrics import max_link_utilization, utilization_percentiles, throughput_at_capacity
+from repro.te.failures import (
+    FailureReport,
+    FailureSweepSummary,
+    evaluate_failure,
+    failure_coverage,
+    failure_sweep,
+    surviving_system,
+)
+
+__all__ = [
+    "TrafficEngineeringSimulator",
+    "SchemeResult",
+    "SimulationReport",
+    "max_link_utilization",
+    "utilization_percentiles",
+    "throughput_at_capacity",
+    "FailureReport",
+    "FailureSweepSummary",
+    "evaluate_failure",
+    "failure_coverage",
+    "failure_sweep",
+    "surviving_system",
+]

@@ -1,0 +1,173 @@
+"""Link-failure robustness of candidate path systems.
+
+One of the practical reasons SMORE samples *diverse* paths from an
+oblivious routing (rather than, say, k shortest paths) is robustness: when
+a link fails, the rates can be shifted onto the surviving candidate paths
+without touching forwarding tables.  This module quantifies that:
+
+* :func:`surviving_system` — drop every candidate path using a failed link,
+* :func:`failure_coverage` — fraction of demanded pairs that still have at
+  least one candidate path after the failure,
+* :func:`evaluate_failure` / :func:`failure_sweep` — re-optimize rates on
+  the surviving paths and compare against the optimum of the failed
+  network, over single-link failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core.path_system import PathSystem
+from repro.core.rate_adaptation import optimal_rates
+from repro.demands.demand import Demand
+from repro.exceptions import GraphError
+from repro.graphs.network import Network, Vertex, edge_key
+from repro.mcf.lp import min_congestion_lp
+
+Edge = Tuple[Vertex, Vertex]
+
+
+def surviving_system(system: PathSystem, failed_edge: Edge) -> PathSystem:
+    """The candidate path system after removing paths through ``failed_edge``."""
+    return system.without_edge(*failed_edge)
+
+
+def failure_coverage(system: PathSystem, demand: Demand, failed_edge: Edge) -> float:
+    """Fraction of demanded pairs still covered after ``failed_edge`` fails."""
+    pairs = demand.pairs()
+    if not pairs:
+        return 1.0
+    survivors = surviving_system(system, failed_edge)
+    covered = sum(1 for pair in pairs if survivors.paths(*pair))
+    return covered / len(pairs)
+
+
+def failed_network(network: Network, failed_edge: Edge) -> Optional[Network]:
+    """The network with ``failed_edge`` removed, or ``None`` if it disconnects."""
+    graph = network.graph.copy()
+    u, v = failed_edge
+    if not graph.has_edge(u, v):
+        raise GraphError(f"edge {failed_edge!r} is not in the network")
+    graph.remove_edge(u, v)
+    if not nx.is_connected(graph):
+        return None
+    return Network(graph, name=f"{network.name}-minus-{failed_edge}")
+
+
+@dataclass
+class FailureReport:
+    """Outcome of a single-link failure against a candidate path system."""
+
+    failed_edge: Edge
+    coverage: float
+    achieved_congestion: Optional[float]
+    optimal_congestion: Optional[float]
+    disconnects_network: bool = False
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.achieved_congestion is None or self.optimal_congestion is None:
+            return None
+        if self.optimal_congestion <= 0:
+            return 1.0 if self.achieved_congestion <= 0 else float("inf")
+        return self.achieved_congestion / self.optimal_congestion
+
+
+def evaluate_failure(
+    system: PathSystem,
+    demand: Demand,
+    failed_edge: Edge,
+) -> FailureReport:
+    """Re-optimize rates on the surviving candidate paths after one link failure.
+
+    The comparison baseline is the offline optimum *on the failed network*
+    (the fair comparator: the failure affects everyone).  When the failure
+    disconnects the network, or some demanded pair loses all of its
+    candidate paths, the corresponding congestion is reported as ``None``
+    and only coverage is meaningful.
+    """
+    failed_edge = edge_key(*failed_edge)
+    coverage = failure_coverage(system, demand, failed_edge)
+    remaining = failed_network(system.network, failed_edge)
+    if remaining is None:
+        return FailureReport(
+            failed_edge=failed_edge,
+            coverage=coverage,
+            achieved_congestion=None,
+            optimal_congestion=None,
+            disconnects_network=True,
+        )
+    optimum = min_congestion_lp(remaining, demand).congestion
+    survivors = surviving_system(system, failed_edge)
+    if not survivors.covers(demand.pairs()):
+        return FailureReport(
+            failed_edge=failed_edge,
+            coverage=coverage,
+            achieved_congestion=None,
+            optimal_congestion=optimum,
+        )
+    achieved = optimal_rates(survivors, demand).congestion
+    return FailureReport(
+        failed_edge=failed_edge,
+        coverage=coverage,
+        achieved_congestion=achieved,
+        optimal_congestion=optimum,
+    )
+
+
+@dataclass
+class FailureSweepSummary:
+    """Aggregate of single-link-failure reports."""
+
+    reports: List[FailureReport] = field(default_factory=list)
+
+    @property
+    def num_failures(self) -> int:
+        return len(self.reports)
+
+    def mean_coverage(self) -> float:
+        if not self.reports:
+            return 1.0
+        return sum(report.coverage for report in self.reports) / len(self.reports)
+
+    def full_coverage_fraction(self) -> float:
+        """Fraction of failures after which every demanded pair is still covered."""
+        if not self.reports:
+            return 1.0
+        return sum(1 for report in self.reports if report.coverage >= 1.0) / len(self.reports)
+
+    def worst_ratio(self) -> Optional[float]:
+        ratios = [report.ratio for report in self.reports if report.ratio is not None]
+        return max(ratios) if ratios else None
+
+    def mean_ratio(self) -> Optional[float]:
+        ratios = [report.ratio for report in self.reports if report.ratio is not None]
+        return sum(ratios) / len(ratios) if ratios else None
+
+
+def failure_sweep(
+    system: PathSystem,
+    demand: Demand,
+    edges: Optional[Iterable[Edge]] = None,
+) -> FailureSweepSummary:
+    """Evaluate every (or the given) single-link failure against ``system``."""
+    if edges is None:
+        edges = system.network.edges
+    summary = FailureSweepSummary()
+    for edge in edges:
+        summary.reports.append(evaluate_failure(system, demand, edge))
+    return summary
+
+
+__all__ = [
+    "surviving_system",
+    "failure_coverage",
+    "failed_network",
+    "FailureReport",
+    "FailureSweepSummary",
+    "evaluate_failure",
+    "failure_sweep",
+]

@@ -1,0 +1,52 @@
+"""Traffic-engineering metrics.
+
+The SMORE evaluation reports maximum link utilization (equivalently, the
+congestion of the routed traffic matrix), utilization percentiles, and
+the admissible throughput scale (how much the matrix can be scaled before
+some link saturates).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.routing import Routing
+from repro.demands.demand import Demand
+from repro.graphs.network import Vertex
+
+
+def max_link_utilization(routing: Routing, demand: Demand) -> float:
+    """Maximum link utilization = congestion of the routed demand."""
+    return routing.congestion(demand)
+
+
+def utilization_percentiles(
+    routing: Routing,
+    demand: Demand,
+    percentiles: Sequence[float] = (50.0, 90.0, 99.0, 100.0),
+) -> Dict[float, float]:
+    """Utilization percentiles across links (links with zero load included)."""
+    congestions = routing.edge_congestions(demand)
+    values = [congestions.get(edge, 0.0) for edge in routing.network.edges]
+    if not values:
+        return {p: 0.0 for p in percentiles}
+    array = np.asarray(values, dtype=float)
+    return {p: float(np.percentile(array, p)) for p in percentiles}
+
+
+def throughput_at_capacity(routing: Routing, demand: Demand) -> float:
+    """The largest factor by which ``demand`` can be scaled before saturation.
+
+    With max utilization ``u`` under the given (fractional, linear)
+    routing, the demand can be scaled by ``1 / u`` before some link
+    reaches 100% utilization.  Returns ``inf`` for zero utilization.
+    """
+    utilization = max_link_utilization(routing, demand)
+    if utilization <= 0:
+        return float("inf")
+    return 1.0 / utilization
+
+
+__all__ = ["max_link_utilization", "utilization_percentiles", "throughput_at_capacity"]

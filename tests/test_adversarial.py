@@ -1,0 +1,87 @@
+"""Unit tests for the adversarial demand constructions (Section 8)."""
+
+import pytest
+
+from repro.core.path_system import PathSystem
+from repro.core.rate_adaptation import optimal_rates
+from repro.core.sampling import alpha_sample
+from repro.demands.adversarial import lower_bound_adversary, random_search_adversary
+from repro.demands.generators import random_permutation_demand
+from repro.exceptions import DemandError
+from repro.graphs.lower_bound import gadget_size_k, lower_bound_gadget
+from repro.mcf.lp import min_congestion_lp
+from repro.oblivious.racke import RaeckeTreeRouting
+
+
+def build_sparse_system(network, layout, alpha, rng=0):
+    oblivious = RaeckeTreeRouting(network, rng=rng)
+    pairs = [(s, t) for s in layout.left_leaves for t in layout.right_leaves]
+    return alpha_sample(oblivious, alpha, pairs=pairs, rng=rng)
+
+
+def test_adversary_produces_permutation_demand():
+    network, layout = lower_bound_gadget(9, 3)
+    system = build_sparse_system(network, layout, alpha=1)
+    result = lower_bound_adversary(system, layout)
+    assert result.demand.is_permutation()
+    assert len(result.matching) >= 1
+    assert result.congestion_lower_bound > 0
+    assert result.optimal_congestion == pytest.approx(1.0)
+    assert result.guaranteed_ratio == pytest.approx(result.congestion_lower_bound)
+
+
+def test_adversary_bound_is_respected_by_rate_adaptation():
+    # Any routing on the attacked path system must congest at least the bound.
+    n, alpha = 16, 1
+    k = gadget_size_k(n, alpha)
+    network, layout = lower_bound_gadget(n, k)
+    system = build_sparse_system(network, layout, alpha=alpha, rng=1)
+    result = lower_bound_adversary(system, layout)
+    adaptation = optimal_rates(system, result.demand)
+    assert adaptation.congestion >= result.congestion_lower_bound - 1e-6
+    # While the unrestricted optimum routes it with congestion 1.
+    optimum = min_congestion_lp(network, result.demand).congestion
+    assert optimum <= 1.0 + 1e-6
+
+
+def test_adversary_bound_grows_with_matching():
+    # With alpha=1 (single sampled path), the bottleneck set has size 1, so the
+    # bound equals the matching size.
+    network, layout = lower_bound_gadget(16, 4)
+    system = build_sparse_system(network, layout, alpha=1, rng=2)
+    result = lower_bound_adversary(system, layout)
+    assert len(result.bottleneck_vertices) == 1
+    assert result.congestion_lower_bound == pytest.approx(len(result.matching))
+
+
+def test_adversary_requires_coverage():
+    network, layout = lower_bound_gadget(4, 2)
+    empty = PathSystem(network)
+    with pytest.raises(DemandError):
+        lower_bound_adversary(empty, layout)
+
+
+def test_matching_respects_middle_capacity():
+    network, layout = lower_bound_gadget(25, 2)
+    system = build_sparse_system(network, layout, alpha=2, rng=3)
+    result = lower_bound_adversary(system, layout)
+    assert len(result.matching) <= layout.k
+    # Matching endpoints are distinct leaves.
+    sources = [s for s, _ in result.matching]
+    targets = [t for _, t in result.matching]
+    assert len(set(sources)) == len(sources)
+    assert len(set(targets)) == len(targets)
+
+
+def test_random_search_adversary(cube3, valiant3):
+    system = alpha_sample(valiant3, alpha=2, rng=0)
+    demand, ratio = random_search_adversary(
+        system,
+        demand_factory=lambda rng: random_permutation_demand(cube3, rng=rng),
+        num_trials=3,
+        rng=0,
+    )
+    assert not demand.is_empty()
+    assert ratio >= 1.0 - 1e-6
+    with pytest.raises(DemandError):
+        random_search_adversary(system, demand_factory=lambda rng: random_permutation_demand(cube3, rng=rng), num_trials=0)

@@ -1,0 +1,145 @@
+"""Unit tests for the analysis helpers (Appendix B, Lemma 5.13, theory curves)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bad_patterns import (
+    bad_pattern_count_bound,
+    bad_pattern_exponent_bound,
+    count_bad_patterns_exact,
+)
+from repro.analysis.concentration import (
+    chernoff_large_deviation,
+    chernoff_upper_tail,
+    empirical_tail_probability,
+    main_lemma_failure_bound,
+    negatively_associated_product_bound,
+    union_bound,
+)
+from repro.analysis.theory import (
+    completion_time_sparsity,
+    deterministic_single_path_barrier,
+    logarithmic_sparsity,
+    predicted_competitiveness,
+    predicted_lower_bound,
+    sparsity_tradeoff_curve,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Concentration
+# --------------------------------------------------------------------------- #
+def test_chernoff_upper_tail_values():
+    assert chernoff_upper_tail(0.0, 1.0) == 0.0
+    assert chernoff_upper_tail(10.0, 1.0) == pytest.approx(math.exp(-10.0 / 3.0))
+    with pytest.raises(ValueError):
+        chernoff_upper_tail(-1.0, 1.0)
+    with pytest.raises(ValueError):
+        chernoff_upper_tail(1.0, 0.0)
+
+
+def test_chernoff_large_deviation_values():
+    assert chernoff_large_deviation(1.0, 4.0) == pytest.approx(math.exp(-4.0 * math.log(4.0) / 4.0))
+    with pytest.raises(ValueError):
+        chernoff_large_deviation(1.0, 1.5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(mu=st.floats(0.01, 50.0), delta=st.floats(2.0, 20.0))
+def test_property_large_deviation_tighter_for_big_delta(mu, delta):
+    # The large-deviation form is at most exp(-delta*mu/4) <= classic bound region.
+    bound = chernoff_large_deviation(mu, delta)
+    assert 0.0 <= bound <= 1.0
+    assert bound <= math.exp(-delta * mu * math.log(2.0) / 4.0) + 1e-12
+
+
+def test_product_bound_and_union_bound():
+    assert negatively_associated_product_bound([0.5, 0.5, 0.1]) == pytest.approx(0.025)
+    with pytest.raises(ValueError):
+        negatively_associated_product_bound([1.5])
+    assert union_bound([0.4, 0.4, 0.4]) == 1.0
+    assert union_bound([0.1, 0.2]) == pytest.approx(0.3)
+
+
+def test_empirical_tail():
+    assert empirical_tail_probability([1, 2, 3, 4], 3) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        empirical_tail_probability([], 1)
+
+
+def test_main_lemma_failure_bound():
+    assert main_lemma_failure_bound(10, 1, 2) == pytest.approx(10.0 ** (-8))
+    with pytest.raises(ValueError):
+        main_lemma_failure_bound(1, 1, 1)
+
+
+# --------------------------------------------------------------------------- #
+# Bad patterns
+# --------------------------------------------------------------------------- #
+def test_bad_pattern_bounds():
+    assert bad_pattern_count_bound(4, 2.0, 4.0, 2) == 1.0  # zero slots
+    assert bad_pattern_count_bound(4, 16.0, 4.0, 2) == pytest.approx((4 + 2 * 64) ** 4)
+    assert bad_pattern_exponent_bound(8, 16.0, 4) == pytest.approx(16.0)
+    with pytest.raises(ValueError):
+        bad_pattern_count_bound(0, 1.0, 1.0, 1)
+    with pytest.raises(ValueError):
+        bad_pattern_exponent_bound(1, 1.0, 1)
+
+
+def test_count_bad_patterns_exact_small():
+    # m=2 edges, D=4, gamma=2: sum(b) must lie in [ceil(4/8), floor(4/2)] = [1, 2].
+    # #tuples with sum 1 over 2 slots = 2; with sum 2 = 3 -> total 5.
+    assert count_bad_patterns_exact(2, 4, 2) == 5
+    assert count_bad_patterns_exact(3, 2, 5) == 0  # high < low
+    with pytest.raises(ValueError):
+        count_bad_patterns_exact(0, 4, 2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(m=st.integers(1, 4), demand=st.integers(1, 12), gamma=st.integers(1, 4))
+def test_property_exact_count_below_analytic_bound(m, demand, gamma):
+    exact = count_bad_patterns_exact(m, demand, gamma)
+    bound = bad_pattern_count_bound(m, float(demand), float(gamma), alpha=1)
+    assert exact <= bound + 1e-6
+
+
+# --------------------------------------------------------------------------- #
+# Theory curves
+# --------------------------------------------------------------------------- #
+def test_logarithmic_sparsity_growth():
+    assert logarithmic_sparsity(2) == 1
+    assert logarithmic_sparsity(16) >= 2
+    assert logarithmic_sparsity(1 << 20) > logarithmic_sparsity(1 << 8)
+
+
+def test_predicted_competitiveness_decreases_while_sampling_term_dominates():
+    # The n^{1/alpha} term shrinks rapidly with alpha; once it is negligible the
+    # additive alpha term takes over, so monotonicity is only expected while the
+    # exponential term dominates (here alpha in 1..4 for n = 1024).
+    values = [predicted_competitiveness(1024, alpha) for alpha in (1, 2, 3, 4)]
+    assert values == sorted(values, reverse=True)
+    # Successive improvements are large (polynomial-factor drops) early on.
+    assert values[0] / values[1] > 2.0
+    with pytest.raises(ValueError):
+        predicted_competitiveness(1, 1)
+
+
+def test_predicted_lower_bound_shape():
+    assert predicted_lower_bound(256, 1) == pytest.approx(16.0)
+    assert predicted_lower_bound(256, 2) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        predicted_lower_bound(1, 1)
+
+
+def test_tradeoff_curve_and_barriers():
+    curve = sparsity_tradeoff_curve(256, [1, 2, 4])
+    assert len(curve) == 3
+    for alpha, upper, lower in curve:
+        assert upper >= lower
+    assert deterministic_single_path_barrier(256, 8) == pytest.approx(2.0)
+    assert completion_time_sparsity(1 << 16) == logarithmic_sparsity(1 << 16) ** 2
+    with pytest.raises(ValueError):
+        deterministic_single_path_barrier(1, 1)

@@ -1,0 +1,36 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments import REGISTRY
+
+
+def test_list_prints_every_experiment(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in REGISTRY:
+        assert name in out
+
+
+def test_experiments_smoke_run(capsys):
+    assert main(["experiments", "--scale", "smoke", "E6_rounding"]) == 0
+    out = capsys.readouterr().out
+    assert "E6_rounding" in out
+    assert "completed in" in out
+
+
+def test_experiments_unknown_id(capsys):
+    assert main(["experiments", "not-an-experiment"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_quickstart(capsys):
+    assert main(["quickstart", "--dimension", "3", "--alpha", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "ratio=" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

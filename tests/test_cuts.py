@@ -1,0 +1,77 @@
+"""Unit tests for repro.graphs.cuts."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import topologies
+from repro.graphs.cuts import CutCache, all_pairs_min_cut, min_cut_value
+from repro.graphs.lower_bound import lower_bound_gadget
+from repro.graphs.network import Network
+
+
+def test_min_cut_on_path_is_one(path4):
+    assert min_cut_value(path4, 0, 3) == pytest.approx(1.0)
+
+
+def test_min_cut_on_cycle_is_two(cycle5):
+    assert min_cut_value(cycle5, 0, 2) == pytest.approx(2.0)
+
+
+def test_min_cut_on_hypercube_equals_degree(cube3):
+    # For a hypercube, the min cut between any two vertices equals the degree d.
+    assert min_cut_value(cube3, 0, 7) == pytest.approx(3.0)
+    assert min_cut_value(cube3, 0, 1) == pytest.approx(3.0)
+
+
+def test_min_cut_same_vertex_is_zero(cube3):
+    assert min_cut_value(cube3, 5, 5) == 0.0
+
+
+def test_min_cut_missing_vertex_raises(cube3):
+    with pytest.raises(GraphError):
+        min_cut_value(cube3, 0, 999)
+
+
+def test_min_cut_respects_capacities():
+    net = Network.from_edges([(0, 1), (1, 2)], capacities={(0, 1): 5.0, (1, 2): 2.0})
+    assert min_cut_value(net, 0, 2) == pytest.approx(2.0)
+
+
+def test_all_pairs_min_cut_matches_single(cycle5):
+    table = all_pairs_min_cut(cycle5)
+    for (s, t), value in table.items():
+        assert value == pytest.approx(min_cut_value(cycle5, s, t))
+
+
+def test_all_pairs_symmetric(torus3):
+    table = all_pairs_min_cut(torus3)
+    for (s, t), value in table.items():
+        assert table[(t, s)] == pytest.approx(value)
+
+
+def test_cut_cache_lazy_and_consistent(cube3):
+    cache = CutCache(cube3)
+    assert cache(0, 7) == pytest.approx(3.0)
+    assert cache(7, 0) == pytest.approx(3.0)
+    assert cache(2, 2) == 0.0
+
+
+def test_cut_cache_precompute_all(cycle5):
+    cache = CutCache(cycle5)
+    cache.precompute_all()
+    for s, t in cycle5.vertex_pairs():
+        assert cache(s, t) == pytest.approx(2.0)
+
+
+def test_gadget_leaf_to_leaf_cut_is_one():
+    network, layout = lower_bound_gadget(4, 2)
+    source = layout.left_leaves[0]
+    target = layout.right_leaves[0]
+    assert min_cut_value(network, source, target) == pytest.approx(1.0)
+    # Between the two centers the cut is the middle layer width k.
+    assert min_cut_value(network, layout.center_left, layout.center_right) == pytest.approx(2.0)
+
+
+def test_two_cliques_bridge_cut():
+    net = topologies.two_cliques_bridged(4, 3)
+    assert min_cut_value(net, ("L", 3), ("R", 3)) == pytest.approx(3.0)

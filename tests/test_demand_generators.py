@@ -1,0 +1,105 @@
+"""Unit tests for demand generators."""
+
+import pytest
+
+from repro.demands.demand import Demand
+from repro.demands.generators import (
+    all_pairs_demand,
+    bisection_demand,
+    bit_reversal_demand,
+    cluster_demand,
+    gravity_demand,
+    permutation_demand,
+    random_pairs_demand,
+    random_permutation_demand,
+    special_demand_from_pairs,
+    transpose_demand,
+    uniform_demand,
+)
+from repro.exceptions import DemandError
+from repro.graphs import topologies
+from repro.graphs.cuts import CutCache
+
+
+def test_permutation_demand_from_mapping():
+    demand = permutation_demand({0: 1, 1: 2, 2: 0, 3: 3})
+    assert demand.is_permutation()
+    assert demand.support_size() == 3  # the fixed point 3->3 is dropped
+    with pytest.raises(DemandError):
+        permutation_demand({0: 1, 2: 1})
+
+
+def test_random_permutation_demand(cube3):
+    demand = random_permutation_demand(cube3, rng=0)
+    assert demand.is_permutation()
+    assert demand.support_size() <= cube3.num_vertices
+
+
+def test_random_permutation_demand_reproducible(cube3):
+    a = random_permutation_demand(cube3, rng=5)
+    b = random_permutation_demand(cube3, rng=5)
+    assert a == b
+
+
+def test_random_pairs_demand(cube3):
+    demand = random_pairs_demand(cube3, num_pairs=5, value=2.0, rng=0)
+    assert demand.support_size() == 5
+    assert all(value == 2.0 for _, value in demand.items())
+    assert random_pairs_demand(cube3, 0, rng=0).is_empty()
+    with pytest.raises(DemandError):
+        random_pairs_demand(cube3, -1)
+
+
+def test_all_pairs_and_uniform(path4):
+    ap = all_pairs_demand(path4)
+    assert ap.support_size() == 12
+    uni = uniform_demand(path4, total=6.0)
+    assert uni.size() == pytest.approx(6.0)
+
+
+def test_gravity_demand_total_and_positivity(cube3):
+    demand = gravity_demand(cube3, total=10.0, rng=0)
+    assert demand.size() == pytest.approx(10.0)
+    assert all(value > 0 for _, value in demand.items())
+    with_weights = gravity_demand(cube3, total=5.0, weights={v: 1.0 for v in cube3.vertices})
+    assert with_weights.size() == pytest.approx(5.0)
+    with pytest.raises(DemandError):
+        gravity_demand(cube3, total=1.0, weights={v: 0.0 for v in cube3.vertices})
+
+
+def test_bit_reversal_demand_is_permutation(cube4):
+    demand = bit_reversal_demand(cube4, 4)
+    assert demand.is_permutation()
+    # vertex 0001 -> 1000
+    assert demand.value(0b0001, 0b1000) == 1.0
+
+
+def test_transpose_demand(cube4):
+    demand = transpose_demand(cube4, 4)
+    assert demand.is_permutation()
+    # vertex (x=01, y=10) i.e. 0110 -> (10,01) = 1001
+    assert demand.value(0b0110, 0b1001) == 1.0
+    with pytest.raises(DemandError):
+        transpose_demand(cube4, 3)
+
+
+def test_bisection_demand(cube3):
+    demand = bisection_demand(cube3, rng=0)
+    assert demand.is_permutation()
+    assert demand.support_size() == 4
+
+
+def test_special_demand_from_pairs(cycle5):
+    cuts = CutCache(cycle5)
+    demand = special_demand_from_pairs([(0, 2), (1, 3), (4, 4)], alpha=3, cut_oracle=cuts)
+    assert demand.is_special(3, cuts)
+    assert demand.support_size() == 2  # (4, 4) dropped
+
+
+def test_cluster_demand(path4):
+    clusters = [[0, 1], [2, 3]]
+    demand = cluster_demand(path4, clusters, intra=0.0, inter=1.0)
+    assert demand.value(0, 2) == 1.0
+    assert demand.value(0, 1) == 0.0
+    with_intra = cluster_demand(path4, clusters, intra=0.5, inter=0.0)
+    assert with_intra.value(0, 1) == 0.5

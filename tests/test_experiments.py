@@ -1,0 +1,88 @@
+"""Tests for the experiment harness and smoke runs of every experiment."""
+
+import pytest
+
+from repro.experiments import REGISTRY
+from repro.experiments.harness import ExperimentConfig, ExperimentResult, run_experiment
+
+
+def test_config_param_lookup():
+    config = ExperimentConfig(scale="small", overrides={"x": 10})
+    defaults = {"small": {"x": 1, "y": 2}, "paper": {"x": 5, "y": 6}}
+    assert config.param("x", defaults) == 10  # override wins
+    assert config.param("y", defaults) == 2
+    with pytest.raises(KeyError):
+        config.param("z", defaults)
+
+
+def test_result_rendering_and_columns():
+    result = ExperimentResult(experiment_id="demo")
+    result.add_row("table1", a=1, b="x")
+    result.add_row("table1", a=2, c=3.5)
+    result.add_note("a note")
+    assert result.table_columns("table1") == ["a", "b", "c"]
+    text = result.render()
+    assert "demo" in text and "table1" in text and "a note" in text
+    assert str(result) == text
+
+
+def test_run_experiment_wrapper(capsys):
+    def runner(config):
+        result = ExperimentResult(experiment_id="wrapped")
+        result.add_row("t", value=config.seed)
+        return result
+
+    result = run_experiment(runner, ExperimentConfig(seed=3), print_result=True)
+    assert result.config.seed == 3
+    assert "wrapped" in capsys.readouterr().out
+
+
+def test_registry_contains_all_experiments():
+    assert len(REGISTRY) == 12
+    assert set(REGISTRY) == {
+        "E1_sparsity_tradeoff",
+        "E2_log_sparsity",
+        "E3_lower_bound",
+        "E4_deterministic_hypercube",
+        "E5_weak_routing_process",
+        "E6_rounding",
+        "E7_completion_time",
+        "E8_smore_te",
+        "E9_arbitrary_demands",
+        "E10_oblivious_baselines",
+        "E11_ablation_selection",
+        "E12_robustness",
+    }
+
+
+@pytest.mark.parametrize("experiment_id", sorted(REGISTRY))
+def test_each_experiment_runs_at_smoke_scale(experiment_id):
+    runner = REGISTRY[experiment_id]
+    result = runner(ExperimentConfig(seed=1, scale="smoke"))
+    assert result.experiment_id == experiment_id
+    assert result.tables, "experiment produced no tables"
+    for rows in result.tables.values():
+        assert rows, "experiment produced an empty table"
+    assert result.render()
+
+
+def test_e3_lower_bound_exceeds_guarantee():
+    result = REGISTRY["E3_lower_bound"](ExperimentConfig(seed=2, scale="smoke"))
+    for row in result.tables["lower_bound"]:
+        assert row["measured_congestion"] >= row["guaranteed_bound"] - 1e-6
+        assert row["offline_optimum"] <= 1.0 + 1e-6
+
+
+def test_e6_rounding_respects_bound():
+    result = REGISTRY["E6_rounding"](ExperimentConfig(seed=2, scale="smoke"))
+    for row in result.tables["rounding"]:
+        assert row["integral"] <= row["bound"] + 1e-6
+
+
+def test_e1_ratios_improve_with_alpha():
+    result = REGISTRY["E1_sparsity_tradeoff"](ExperimentConfig(seed=3, scale="smoke"))
+    rows = [row for row in result.tables["sparsity_tradeoff"] if row["graph"] == "hypercube"]
+    by_alpha = {row["alpha"]: row["worst_ratio"] for row in rows}
+    alphas = sorted(by_alpha)
+    # The largest alpha should not be worse than the smallest one.
+    assert by_alpha[alphas[-1]] <= by_alpha[alphas[0]] + 1e-6

@@ -1,0 +1,51 @@
+"""Unit tests for random graph generators."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.generators import erdos_renyi_connected, random_geometric_network, waxman_isp
+
+
+def test_waxman_is_connected_and_min_degree_two():
+    for seed in range(3):
+        net = waxman_isp(12, rng=seed)
+        assert net.num_vertices == 12
+        assert min(net.degree(v) for v in net.vertices) >= 2
+
+
+def test_waxman_capacities_from_levels():
+    net = waxman_isp(10, capacity_levels=(2.0, 8.0), rng=1)
+    capacities = {net.capacity(u, v) for u, v in net.edges}
+    assert capacities <= {2.0, 8.0}
+
+
+def test_waxman_rejects_tiny():
+    with pytest.raises(GraphError):
+        waxman_isp(2)
+
+
+def test_erdos_renyi_connected():
+    net = erdos_renyi_connected(15, 0.3, rng=0)
+    assert net.num_vertices == 15
+    with pytest.raises(GraphError):
+        erdos_renyi_connected(1, 0.5)
+    with pytest.raises(GraphError):
+        erdos_renyi_connected(10, 0.0)
+
+
+def test_erdos_renyi_fails_for_hopeless_density():
+    with pytest.raises(GraphError):
+        erdos_renyi_connected(40, 0.01, rng=0, max_tries=3)
+
+
+def test_random_geometric_connected():
+    net = random_geometric_network(15, radius=0.6, rng=0)
+    assert net.num_vertices == 15
+    with pytest.raises(GraphError):
+        random_geometric_network(1, radius=0.5)
+
+
+def test_generators_are_reproducible():
+    a = waxman_isp(10, rng=42)
+    b = waxman_isp(10, rng=42)
+    assert set(a.edges) == set(b.edges)

@@ -1,0 +1,90 @@
+"""Unit tests for the Section 8 lower-bound constructions."""
+
+import math
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.lower_bound import (
+    ascii_render_gadget,
+    gadget_size_k,
+    lower_bound_family,
+    lower_bound_gadget,
+)
+
+
+def test_gadget_size_k_formula():
+    assert gadget_size_k(256, 1) == 16
+    assert gadget_size_k(256, 2) == 4
+    assert gadget_size_k(256, 4) == 2
+    with pytest.raises(GraphError):
+        gadget_size_k(0, 1)
+
+
+def test_gadget_counts_match_paper():
+    # C(n, k) has 2n + 2 + k vertices and 2n + 2k edges (Lemma 8.1).
+    for n, k in [(4, 2), (16, 4), (32, 3)]:
+        network, layout = lower_bound_gadget(n, k)
+        assert network.num_vertices == 2 * n + 2 + k
+        assert network.num_edges == 2 * n + 2 * k
+        assert layout.n == n
+        assert layout.k == k
+
+
+def test_gadget_structure():
+    network, layout = lower_bound_gadget(5, 3)
+    # Star centers are adjacent to every leaf on their side and to all middles.
+    for leaf in layout.left_leaves:
+        assert network.has_edge(layout.center_left, leaf)
+        assert network.degree(leaf) == 1
+    for leaf in layout.right_leaves:
+        assert network.has_edge(layout.center_right, leaf)
+    for middle in layout.middle:
+        assert network.has_edge(layout.center_left, middle)
+        assert network.has_edge(layout.center_right, middle)
+        assert network.degree(middle) == 2
+    assert not network.has_edge(layout.center_left, layout.center_right)
+
+
+def test_gadget_every_cross_path_uses_a_middle_vertex():
+    network, layout = lower_bound_gadget(4, 2)
+    source, target = layout.left_leaves[0], layout.right_leaves[0]
+    path = network.shortest_path(source, target)
+    assert any(vertex in set(layout.middle) for vertex in path)
+    assert len(path) - 1 == 4  # leaf - center - middle - center - leaf
+
+
+def test_gadget_invalid_parameters():
+    with pytest.raises(GraphError):
+        lower_bound_gadget(0, 1)
+    with pytest.raises(GraphError):
+        lower_bound_gadget(4, 0)
+
+
+def test_family_contains_one_gadget_per_alpha():
+    network, layouts = lower_bound_family(16)
+    assert set(layouts.keys()) == set(range(1, int(math.log2(16)) + 1))
+    # Copies are vertex-disjoint (prefixes differ).
+    all_vertices = set()
+    for layout in layouts.values():
+        vertices = {layout.center_left, layout.center_right}
+        vertices.update(layout.left_leaves)
+        vertices.update(layout.right_leaves)
+        vertices.update(layout.middle)
+        assert not (all_vertices & vertices)
+        all_vertices |= vertices
+    assert all_vertices <= set(network.vertices)
+
+
+def test_family_is_connected_and_sized():
+    network, layouts = lower_bound_family(8)
+    expected = sum(2 * 8 + 2 + max(gadget_size_k(8, a), 1) for a in layouts)
+    assert network.num_vertices == expected
+    assert network.diameter() > 0  # connectivity enforced by Network
+
+
+def test_ascii_render_mentions_sizes():
+    _, layout = lower_bound_gadget(10, 3)
+    text = ascii_render_gadget(layout)
+    assert "C(n=10, k=3)" in text
+    assert "v1" in text and "v2" in text

@@ -1,0 +1,51 @@
+"""Unit tests for the exact integral optimum on tiny instances."""
+
+import pytest
+
+from repro.demands.demand import Demand
+from repro.exceptions import DemandError, SolverError
+from repro.graphs import topologies
+from repro.graphs.lower_bound import lower_bound_gadget
+from repro.mcf.integral import exact_integral_optimum
+from repro.mcf.lp import min_congestion_lp
+
+
+def test_requires_zero_one_demand(cube3):
+    with pytest.raises(DemandError):
+        exact_integral_optimum(cube3, Demand({(0, 1): 2.0}))
+
+
+def test_empty_demand(cube3):
+    congestion, assignment = exact_integral_optimum(cube3, Demand.empty())
+    assert congestion == 0.0
+    assert assignment == {}
+
+
+def test_matches_structure_on_cycle(cycle5):
+    # Two unit demands in the same direction around a 5-cycle can avoid each other.
+    demand = Demand({(0, 2): 1.0, (2, 4): 1.0})
+    congestion, assignment = exact_integral_optimum(cycle5, demand)
+    assert congestion == pytest.approx(1.0)
+    for pair, path in assignment.items():
+        assert path[0] == pair[0] and path[-1] == pair[1]
+
+
+def test_integral_at_least_fractional(cube3):
+    demand = Demand({(0, 7): 1.0, (1, 6): 1.0, (2, 5): 1.0})
+    integral, _ = exact_integral_optimum(cube3, demand, paths_per_pair=4)
+    fractional = min_congestion_lp(cube3, demand).congestion
+    assert integral >= fractional - 1e-6
+
+
+def test_gadget_matching_has_integral_optimum_one():
+    network, layout = lower_bound_gadget(3, 3)
+    pairs = list(zip(layout.left_leaves, layout.right_leaves))
+    demand = Demand.from_pairs(pairs)
+    congestion, _ = exact_integral_optimum(network, demand, paths_per_pair=4)
+    assert congestion == pytest.approx(1.0)
+
+
+def test_search_space_guard(cube4):
+    demand = Demand.from_pairs([(i, 15 - i) for i in range(6)])
+    with pytest.raises(SolverError):
+        exact_integral_optimum(cube4, demand, paths_per_pair=10, max_assignments=100)

@@ -1,0 +1,57 @@
+"""Unit tests for the multiplicative-weights MCF approximation."""
+
+import pytest
+
+from repro.demands.demand import Demand
+from repro.demands.generators import random_permutation_demand
+from repro.exceptions import SolverError
+from repro.graphs import topologies
+from repro.mcf.lp import min_congestion_lp
+from repro.mcf.mwu import approximate_min_congestion
+
+
+def test_empty_demand(cube3):
+    result = approximate_min_congestion(cube3, Demand.empty())
+    assert result.congestion == 0.0
+    assert result.weighted_paths == []
+
+
+def test_invalid_epsilon(cube3):
+    with pytest.raises(SolverError):
+        approximate_min_congestion(cube3, Demand({(0, 1): 1.0}), epsilon=0.0)
+    with pytest.raises(SolverError):
+        approximate_min_congestion(cube3, Demand({(0, 1): 1.0}), epsilon=1.5)
+
+
+def test_result_is_feasible_upper_bound(cube3, permutation_demand_cube3):
+    lp = min_congestion_lp(cube3, permutation_demand_cube3).congestion
+    approx = approximate_min_congestion(cube3, permutation_demand_cube3, epsilon=0.2)
+    # The MWU result is a feasible routing, so it upper-bounds the optimum.
+    assert approx.congestion >= lp - 1e-6
+    # ... and shouldn't be wildly off.
+    assert approx.congestion <= 3.0 * lp + 1e-6
+
+
+def test_routes_full_demand(cube3):
+    demand = Demand({(0, 7): 2.0, (1, 6): 1.0})
+    approx = approximate_min_congestion(cube3, demand, epsilon=0.2)
+    routed = {}
+    for pair, path, amount in approx.weighted_paths:
+        assert path[0] == pair[0] and path[-1] == pair[1]
+        routed[pair] = routed.get(pair, 0.0) + amount
+    for pair, amount in demand.items():
+        assert routed[pair] == pytest.approx(amount, rel=1e-6)
+
+
+def test_congestion_matches_weighted_paths(cube3):
+    demand = Demand({(0, 7): 1.0, (2, 5): 1.0})
+    approx = approximate_min_congestion(cube3, demand, epsilon=0.25)
+    recomputed = cube3.congestion([(path, amount) for _, path, amount in approx.weighted_paths])
+    assert recomputed == pytest.approx(approx.congestion, rel=1e-9)
+
+
+def test_agreement_with_lp_on_torus(torus3):
+    demand = random_permutation_demand(torus3, rng=3)
+    lp = min_congestion_lp(torus3, demand).congestion
+    approx = approximate_min_congestion(torus3, demand, epsilon=0.15)
+    assert lp - 1e-6 <= approx.congestion <= 2.5 * lp + 1e-6

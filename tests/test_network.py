@@ -1,0 +1,182 @@
+"""Unit tests for repro.graphs.network."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError, PathError
+from repro.graphs.network import Network, edge_key, path_edges
+from repro.graphs import topologies
+
+
+def test_edge_key_is_order_independent():
+    assert edge_key(1, 2) == edge_key(2, 1)
+    assert edge_key("a", "b") == edge_key("b", "a")
+
+
+def test_path_edges_lists_consecutive_edges():
+    assert path_edges((1, 2, 3)) == [edge_key(1, 2), edge_key(2, 3)]
+    assert path_edges((7,)) == []
+
+
+def test_network_basic_counts(cube3):
+    assert cube3.num_vertices == 8
+    assert cube3.num_edges == 12
+    assert len(cube3) == 8
+    assert set(cube3.vertices) == set(range(8))
+
+
+def test_network_rejects_empty_graph():
+    with pytest.raises(GraphError):
+        Network(nx.Graph())
+
+
+def test_network_rejects_disconnected_graph():
+    graph = nx.Graph()
+    graph.add_edge(0, 1)
+    graph.add_edge(2, 3)
+    with pytest.raises(GraphError):
+        Network(graph)
+    # but allowed explicitly
+    net = Network(graph, require_connected=False)
+    assert net.num_vertices == 4
+
+
+def test_parallel_edges_become_capacity():
+    multi = nx.MultiGraph()
+    multi.add_edge(0, 1)
+    multi.add_edge(0, 1)
+    multi.add_edge(1, 2)
+    net = Network(multi)
+    assert net.capacity(0, 1) == pytest.approx(2.0)
+    assert net.capacity(1, 2) == pytest.approx(1.0)
+
+
+def test_self_loops_are_dropped():
+    graph = nx.Graph()
+    graph.add_edge(0, 0)
+    graph.add_edge(0, 1)
+    net = Network(graph)
+    assert net.num_edges == 1
+
+
+def test_nonpositive_capacity_rejected():
+    graph = nx.Graph()
+    graph.add_edge(0, 1, capacity=0.0)
+    with pytest.raises(GraphError):
+        Network(graph)
+
+
+def test_vertex_and_edge_indexing(cube3):
+    for index, vertex in enumerate(cube3.vertices):
+        assert cube3.vertex_index(vertex) == index
+    for index, (u, v) in enumerate(cube3.edges):
+        assert cube3.edge_index(u, v) == index
+        assert cube3.edge_index(v, u) == index
+    with pytest.raises(GraphError):
+        cube3.vertex_index(999)
+    with pytest.raises(GraphError):
+        cube3.edge_index(0, 7)  # antipodal, not adjacent
+
+
+def test_neighbors_and_degree(cube3):
+    assert sorted(cube3.neighbors(0)) == [1, 2, 4]
+    assert cube3.degree(0) == 3
+    assert cube3.max_degree() == 3
+    with pytest.raises(GraphError):
+        cube3.neighbors(100)
+
+
+def test_arcs_yield_both_orientations(cycle5):
+    arcs = list(cycle5.arcs())
+    assert len(arcs) == 2 * cycle5.num_edges
+    assert len(set(arcs)) == len(arcs)
+
+
+def test_vertex_pairs_ordered_and_unordered(path4):
+    unordered = list(path4.vertex_pairs())
+    ordered = list(path4.vertex_pairs(ordered=True))
+    assert len(unordered) == 6
+    assert len(ordered) == 12
+
+
+def test_validate_path_accepts_valid(cube3):
+    path = cube3.validate_path([0, 1, 3], source=0, target=3)
+    assert path == (0, 1, 3)
+
+
+@pytest.mark.parametrize(
+    "path, kwargs",
+    [
+        ([], {}),
+        ([0, 0], {}),
+        ([0, 7], {}),  # not adjacent
+        ([0, 1, 0], {}),  # not simple
+        ([0, 1], {"source": 1}),
+        ([0, 1], {"target": 0}),
+        ([0, 999], {}),
+    ],
+)
+def test_validate_path_rejects_invalid(cube3, path, kwargs):
+    with pytest.raises(PathError):
+        cube3.validate_path(path, **kwargs)
+
+
+def test_shortest_path_and_distance(cube3):
+    assert cube3.distance(0, 7) == 3
+    path = cube3.shortest_path(0, 7)
+    assert path[0] == 0 and path[-1] == 7
+    assert cube3.path_length(path) == 3
+    assert cube3.diameter() == 3
+
+
+def test_congestion_accounting(path4):
+    paths = [((0, 1, 2), 2.0), ((1, 2, 3), 1.0)]
+    loads = path4.edge_loads(paths)
+    assert loads[edge_key(1, 2)] == pytest.approx(3.0)
+    assert path4.congestion(paths) == pytest.approx(3.0)
+
+
+def test_congestion_respects_capacities():
+    net = Network.from_edges([(0, 1), (1, 2)], capacities={(0, 1): 4.0})
+    assert net.congestion([((0, 1), 2.0)]) == pytest.approx(0.5)
+    assert net.congestion([((1, 2), 2.0)]) == pytest.approx(2.0)
+
+
+def test_from_edges_merges_duplicates():
+    net = Network.from_edges([(0, 1), (0, 1), (1, 2)])
+    assert net.capacity(0, 1) == pytest.approx(2.0)
+
+
+def test_relabeled_preserves_structure(path4):
+    relabeled = path4.relabeled({v: f"v{v}" for v in path4.vertices})
+    assert relabeled.num_vertices == path4.num_vertices
+    assert relabeled.has_edge("v0", "v1")
+
+
+def test_subnetwork(cube3):
+    sub = cube3.subnetwork([0, 1, 3, 2])
+    assert sub.num_vertices == 4
+    with pytest.raises(GraphError):
+        cube3.subnetwork([0, 999])
+
+
+@settings(max_examples=25, deadline=None)
+@given(dimension=st.integers(min_value=1, max_value=5))
+def test_hypercube_shortest_distance_is_hamming(dimension):
+    net = topologies.hypercube(dimension)
+    size = 1 << dimension
+    source, target = 0, size - 1
+    assert net.distance(source, target) == dimension
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=st.integers(min_value=2, max_value=5),
+    cols=st.integers(min_value=2, max_value=5),
+)
+def test_grid_counts(rows, cols):
+    net = topologies.grid_2d(rows, cols)
+    assert net.num_vertices == rows * cols
+    assert net.num_edges == rows * (cols - 1) + cols * (rows - 1)

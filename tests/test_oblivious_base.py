@@ -1,0 +1,75 @@
+"""Unit tests for the oblivious routing builder interface."""
+
+import pytest
+
+from repro.core.routing import Routing
+from repro.demands.demand import Demand
+from repro.exceptions import RoutingError
+from repro.oblivious.base import ObliviousRoutingBuilder, build_routing_for_pairs
+from repro.oblivious.shortest_path import ShortestPathRouting
+
+
+class _CountingBuilder(ObliviousRoutingBuilder):
+    """Test double counting distribution_for calls (to verify caching)."""
+
+    name = "counting"
+
+    def __init__(self, network):
+        super().__init__(network)
+        self.calls = 0
+
+    def distribution_for(self, source, target):
+        self.calls += 1
+        return {self.network.shortest_path(source, target): 1.0}
+
+
+class _EmptyBuilder(ObliviousRoutingBuilder):
+    def distribution_for(self, source, target):
+        return {}
+
+
+def test_pair_distribution_is_cached(cube3):
+    builder = _CountingBuilder(cube3)
+    builder.pair_distribution(0, 7)
+    builder.pair_distribution(0, 7)
+    assert builder.calls == 1
+    builder.clear_cache()
+    builder.pair_distribution(0, 7)
+    assert builder.calls == 2
+
+
+def test_pair_distribution_rejects_self_pair(cube3):
+    builder = _CountingBuilder(cube3)
+    with pytest.raises(RoutingError):
+        builder.pair_distribution(3, 3)
+
+
+def test_empty_distribution_rejected(cube3):
+    builder = _EmptyBuilder(cube3)
+    with pytest.raises(RoutingError):
+        builder.pair_distribution(0, 1)
+
+
+def test_routing_materialization_all_pairs(path4):
+    builder = ShortestPathRouting(path4)
+    routing = builder.routing()
+    assert isinstance(routing, Routing)
+    assert len(routing) == path4.num_vertices * (path4.num_vertices - 1)
+
+
+def test_routing_for_demand_covers_support(cube3):
+    builder = ShortestPathRouting(cube3)
+    demand = Demand({(0, 7): 1.0, (1, 6): 2.0})
+    routing = builder.routing_for_demand(demand)
+    assert set(routing.pairs()) == set(demand.pairs())
+
+
+def test_build_routing_for_pairs(cube3):
+    builder = ShortestPathRouting(cube3)
+    routing = build_routing_for_pairs(builder, [(0, 1), (2, 3)])
+    assert set(routing.pairs()) == {(0, 1), (2, 3)}
+
+
+def test_repr_mentions_network(cube3):
+    builder = _CountingBuilder(cube3)
+    assert "hypercube" in repr(builder)

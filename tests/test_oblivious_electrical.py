@@ -1,0 +1,80 @@
+"""Unit tests for electrical-flow oblivious routing and flow decomposition."""
+
+import pytest
+
+from repro.demands.demand import Demand
+from repro.graphs import topologies
+from repro.graphs.network import Network
+from repro.oblivious.electrical import ElectricalFlowRouting, decompose_flow
+
+
+def test_decompose_simple_flow():
+    flows = {(0, 1): 1.0, (1, 2): 1.0}
+    decomposition = decompose_flow(flows, 0, 2)
+    assert len(decomposition) == 1
+    path, weight = decomposition[0]
+    assert path == (0, 1, 2)
+    assert weight == pytest.approx(1.0)
+
+
+def test_decompose_split_flow():
+    flows = {(0, 1): 0.6, (1, 3): 0.6, (0, 2): 0.4, (2, 3): 0.4}
+    decomposition = decompose_flow(flows, 0, 3)
+    total = sum(weight for _, weight in decomposition)
+    assert total == pytest.approx(1.0)
+    assert {path for path, _ in decomposition} == {(0, 1, 3), (0, 2, 3)}
+
+
+def test_decompose_empty_flow():
+    assert decompose_flow({}, 0, 1) == []
+
+
+def test_distribution_sums_to_one(cube3):
+    builder = ElectricalFlowRouting(cube3)
+    distribution = builder.pair_distribution(0, 7)
+    assert sum(distribution.values()) == pytest.approx(1.0)
+    for path in distribution:
+        cube3.validate_path(path, source=0, target=7)
+
+
+def test_adjacent_pair_mostly_direct(cube3):
+    builder = ElectricalFlowRouting(cube3)
+    distribution = builder.pair_distribution(0, 1)
+    # The direct edge carries the largest share of the electrical flow.
+    heaviest = max(distribution, key=distribution.get)
+    assert heaviest == (0, 1)
+
+
+def test_symmetric_cycle_splits_both_ways(cycle5):
+    builder = ElectricalFlowRouting(cycle5)
+    distribution = builder.pair_distribution(0, 1)
+    # The direct edge (resistance 1) takes 4/5 of the current, the long way 1/5.
+    weights = {len(path): weight for path, weight in distribution.items()}
+    assert weights[2] == pytest.approx(0.8, abs=0.05)
+    assert weights[5] == pytest.approx(0.2, abs=0.05)
+
+
+def test_capacity_biases_flow():
+    net = Network.from_edges(
+        [(0, 1), (1, 2), (0, 3), (3, 2)],
+        capacities={(0, 1): 10.0, (1, 2): 10.0, (0, 3): 1.0, (3, 2): 1.0},
+    )
+    builder = ElectricalFlowRouting(net)
+    distribution = builder.pair_distribution(0, 2)
+    fat = sum(weight for path, weight in distribution.items() if 1 in path)
+    thin = sum(weight for path, weight in distribution.items() if 3 in path)
+    assert fat > thin
+
+
+def test_electrical_routing_reasonable_congestion(cube3, permutation_demand_cube3):
+    builder = ElectricalFlowRouting(cube3)
+    routing = builder.routing_for_demand(permutation_demand_cube3)
+    assert routing.congestion(permutation_demand_cube3) <= 5.0
+
+
+def test_min_path_weight_pruning(cube4):
+    coarse = ElectricalFlowRouting(cube4, min_path_weight=0.2)
+    fine = ElectricalFlowRouting(cube4, min_path_weight=1e-6)
+    coarse_support = len(coarse.pair_distribution(0, 15))
+    fine_support = len(fine.pair_distribution(0, 15))
+    assert coarse_support <= fine_support

@@ -1,0 +1,56 @@
+"""Unit tests for the hop-constrained oblivious routing."""
+
+import pytest
+
+from repro.exceptions import InfeasibleError, RoutingError
+from repro.graphs import topologies
+from repro.oblivious.hop_constrained import HopConstrainedRouting
+
+
+def test_parameters_validated(cube3):
+    with pytest.raises(RoutingError):
+        HopConstrainedRouting(cube3, hop_bound=0)
+    with pytest.raises(RoutingError):
+        HopConstrainedRouting(cube3, hop_bound=2, hop_stretch=0.5)
+
+
+def test_hop_limit_computation(cube3):
+    builder = HopConstrainedRouting(cube3, hop_bound=2, hop_stretch=1.5, rng=0)
+    assert builder.hop_bound == 2
+    assert builder.hop_limit == 3
+
+
+def test_paths_respect_hop_limit(cube4):
+    builder = HopConstrainedRouting(cube4, hop_bound=4, hop_stretch=1.0, rng=0)
+    distribution = builder.pair_distribution(0, 15)
+    for path in distribution:
+        assert len(path) - 1 <= 4
+        cube4.validate_path(path, source=0, target=15)
+    assert sum(distribution.values()) == pytest.approx(1.0)
+
+
+def test_infeasible_pair_raises(path4):
+    builder = HopConstrainedRouting(path4, hop_bound=1, hop_stretch=1.0, rng=0)
+    with pytest.raises(InfeasibleError):
+        builder.pair_distribution(0, 3)  # distance 3 > limit 1
+
+
+def test_sample_path_within_budget(torus3):
+    builder = HopConstrainedRouting(torus3, hop_bound=2, hop_stretch=2.0, rng=0)
+    source, target = (0, 0), (1, 1)
+    for _ in range(5):
+        path = builder.sample_path(source, target)
+        assert len(path) - 1 <= builder.hop_limit
+
+
+def test_measured_hop_stretch(cube3):
+    builder = HopConstrainedRouting(cube3, hop_bound=3, hop_stretch=2.0, rng=0)
+    stretch = builder.measured_hop_stretch(pairs=[(0, 7), (1, 6)])
+    assert 0 < stretch <= 2.0
+
+
+def test_larger_hop_bound_allows_more_diversity(cube4):
+    tight = HopConstrainedRouting(cube4, hop_bound=4, hop_stretch=1.0, rng=0)
+    loose = HopConstrainedRouting(cube4, hop_bound=4, hop_stretch=2.0, rng=0)
+    assert max(len(p) - 1 for p in loose.pair_distribution(0, 15)) <= loose.hop_limit
+    assert max(len(p) - 1 for p in tight.pair_distribution(0, 15)) <= 4

@@ -1,0 +1,67 @@
+"""Unit tests for the Räcke-style MWU-over-trees oblivious routing."""
+
+import networkx as nx
+import pytest
+
+from repro.demands.generators import random_permutation_demand
+from repro.exceptions import RoutingError
+from repro.graphs import topologies
+from repro.mcf.lp import min_congestion_lp
+from repro.oblivious.racke import RaeckeTreeRouting
+
+
+def test_trees_are_spanning(small_expander):
+    builder = RaeckeTreeRouting(small_expander, num_trees=4, rng=0)
+    assert len(builder.trees) == 4
+    for tree in builder.trees:
+        assert tree.number_of_nodes() == small_expander.num_vertices
+        assert tree.number_of_edges() == small_expander.num_vertices - 1
+        assert nx.is_connected(tree)
+        # Every tree edge is a network edge.
+        for u, v in tree.edges():
+            assert small_expander.has_edge(u, v)
+
+
+def test_tree_weights_sum_to_one(small_expander):
+    builder = RaeckeTreeRouting(small_expander, num_trees=3, rng=0)
+    assert sum(builder.tree_weights) == pytest.approx(1.0)
+
+
+def test_default_num_trees_scales_with_log_n(cube4):
+    builder = RaeckeTreeRouting(cube4, rng=0)
+    assert len(builder.trees) >= 4
+
+
+def test_invalid_num_trees(cube3):
+    with pytest.raises(RoutingError):
+        RaeckeTreeRouting(cube3, num_trees=0)
+
+
+def test_distribution_valid(cube3, racke_cube3):
+    distribution = racke_cube3.pair_distribution(0, 7)
+    assert sum(distribution.values()) == pytest.approx(1.0)
+    for path in distribution:
+        cube3.validate_path(path, source=0, target=7)
+
+
+def test_sample_path_valid(cube3, racke_cube3):
+    for _ in range(10):
+        path = racke_cube3.sample_path(0, 7)
+        cube3.validate_path(path, source=0, target=7)
+
+
+def test_competitiveness_is_reasonable(small_expander):
+    builder = RaeckeTreeRouting(small_expander, rng=1)
+    demand = random_permutation_demand(small_expander, rng=2)
+    routing = builder.routing_for_demand(demand)
+    achieved = routing.congestion(demand)
+    optimum = min_congestion_lp(small_expander, demand).congestion
+    # The MWU-over-trees construction should be within a modest factor of optimal
+    # on a small expander (this is the measured substitute for Räcke's O(log n)).
+    assert achieved <= 12.0 * max(optimum, 1e-9)
+
+
+def test_reproducible_with_seed(small_expander):
+    a = RaeckeTreeRouting(small_expander, num_trees=3, rng=7)
+    b = RaeckeTreeRouting(small_expander, num_trees=3, rng=7)
+    assert a.pair_distribution(0, 5) == b.pair_distribution(0, 5)

@@ -1,0 +1,78 @@
+"""Unit tests for Valiant–Brebner hypercube routing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.demands.generators import random_permutation_demand
+from repro.exceptions import GraphError, RoutingError
+from repro.graphs import topologies
+from repro.oblivious.valiant import ValiantHypercubeRouting, bit_fixing_path
+
+
+def test_bit_fixing_path_structure():
+    path = bit_fixing_path(0b000, 0b111, 3)
+    assert path == (0b000, 0b001, 0b011, 0b111)
+    assert bit_fixing_path(5, 5, 3) == (5,)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    dimension=st.integers(min_value=1, max_value=6),
+    data=st.data(),
+)
+def test_property_bit_fixing_path_is_valid(dimension, data):
+    size = 1 << dimension
+    source = data.draw(st.integers(0, size - 1))
+    target = data.draw(st.integers(0, size - 1))
+    path = bit_fixing_path(source, target, dimension)
+    assert path[0] == source and path[-1] == target
+    # Hamming distance decreases by exactly 1 at each step.
+    assert len(path) - 1 == bin(source ^ target).count("1")
+    for u, v in zip(path, path[1:]):
+        assert bin(u ^ v).count("1") == 1
+
+
+def test_dimension_mismatch_rejected(cube3):
+    with pytest.raises(GraphError):
+        ValiantHypercubeRouting(cube3, 4)
+
+
+def test_exact_distribution_small_cube(cube3):
+    builder = ValiantHypercubeRouting(cube3, 3, rng=0)
+    distribution = builder.pair_distribution(0, 7)
+    assert sum(distribution.values()) == pytest.approx(1.0)
+    for path in distribution:
+        cube3.validate_path(path, source=0, target=7)
+
+
+def test_exact_distribution_refuses_large_cube():
+    net = topologies.hypercube(5)
+    builder = ValiantHypercubeRouting(net, 5, max_support=8, rng=0)
+    with pytest.raises(RoutingError):
+        builder.distribution_for(0, 31)
+    # Sampling still works.
+    path = builder.sample_path(0, 31)
+    net.validate_path(path, source=0, target=31)
+
+
+def test_sample_path_valid_and_random(cube4):
+    builder = ValiantHypercubeRouting(cube4, 4, rng=1)
+    paths = {builder.sample_path(0, 15) for _ in range(30)}
+    for path in paths:
+        cube4.validate_path(path, source=0, target=15)
+    assert len(paths) > 1  # randomized intermediate vertices diversify paths
+
+
+def test_valiant_congestion_is_low_on_permutations(cube4):
+    builder = ValiantHypercubeRouting(cube4, 4, rng=2)
+    demand = random_permutation_demand(cube4, rng=3)
+    routing = builder.routing_for_demand(demand)
+    # Valiant guarantees O(1) expected congestion; allow generous slack.
+    assert routing.congestion(demand) <= 6.0
+
+
+def test_make_simple_removes_loops():
+    simple = ValiantHypercubeRouting._make_simple([0, 1, 3, 1, 5])
+    assert simple == (0, 1, 5)
+    assert ValiantHypercubeRouting._make_simple([2, 2, 2]) == (2,)

@@ -1,0 +1,56 @@
+"""Unit tests for Valiant load balancing on general graphs."""
+
+import pytest
+
+from repro.core.sampling import alpha_sample
+from repro.demands.generators import random_permutation_demand
+from repro.exceptions import RoutingError
+from repro.graphs import topologies
+from repro.oblivious.valiant_general import ValiantGeneralRouting, _splice
+
+
+def test_splice_shortcuts_repeats():
+    assert _splice((0, 1, 2), (2, 1, 5)) == (0, 1, 5)
+    assert _splice((0, 1), (1, 2)) == (0, 1, 2)
+    assert _splice((3,), (3,)) == (3,)
+
+
+def test_exact_distribution_is_valid(cycle5):
+    builder = ValiantGeneralRouting(cycle5, rng=0)
+    distribution = builder.pair_distribution(0, 2)
+    assert sum(distribution.values()) == pytest.approx(1.0)
+    for path in distribution:
+        cycle5.validate_path(path, source=0, target=2)
+
+
+def test_materialization_cap(small_expander):
+    builder = ValiantGeneralRouting(small_expander, max_support=4, rng=0)
+    with pytest.raises(RoutingError):
+        builder.distribution_for(0, 1)
+    # Sampling still works past the cap.
+    path = builder.sample_path(0, 1)
+    small_expander.validate_path(path, source=0, target=1)
+
+
+def test_sample_paths_diverse(torus3):
+    builder = ValiantGeneralRouting(torus3, rng=1)
+    paths = {builder.sample_path((0, 0), (2, 2)) for _ in range(25)}
+    assert len(paths) > 1
+    for path in paths:
+        torus3.validate_path(path, source=(0, 0), target=(2, 2))
+
+
+def test_dilation_bounded_by_twice_diameter(small_expander):
+    builder = ValiantGeneralRouting(small_expander, rng=2)
+    diameter = small_expander.diameter()
+    for _ in range(20):
+        path = builder.sample_path(0, 5)
+        assert len(path) - 1 <= 2 * diameter
+
+
+def test_usable_as_sampling_source(small_expander):
+    builder = ValiantGeneralRouting(small_expander, rng=3)
+    demand = random_permutation_demand(small_expander, rng=4)
+    system = alpha_sample(builder, alpha=3, pairs=demand.pairs(), rng=5)
+    assert system.is_alpha_sparse(3)
+    assert system.covers(demand.pairs())

@@ -1,0 +1,71 @@
+"""Unit tests for randomized rounding (Lemma 6.3)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rounding import randomized_rounding, rounding_bound
+from repro.core.routing import Routing
+from repro.demands.demand import Demand
+from repro.demands.generators import random_permutation_demand
+from repro.exceptions import DemandError
+from repro.graphs import topologies
+from repro.mcf.lp import min_congestion_lp
+
+
+def test_rounding_bound_formula():
+    assert rounding_bound(2.0, 10) == pytest.approx(4.0 + 3.0 * math.log(10))
+    assert rounding_bound(0.0, 1) == pytest.approx(3.0 * math.log(2))
+
+
+def test_requires_integral_demand(cube3):
+    routing = Routing(cube3, {(0, 3): {(0, 1, 3): 0.5, (0, 2, 3): 0.5}})
+    with pytest.raises(DemandError):
+        randomized_rounding(routing, Demand({(0, 3): 1.5}))
+
+
+def test_rounded_routing_is_integral_and_on_support(cube3):
+    routing = Routing(cube3, {(0, 3): {(0, 1, 3): 0.5, (0, 2, 3): 0.5}})
+    demand = Demand({(0, 3): 4.0})
+    result = randomized_rounding(routing, demand, rng=0)
+    assert result.routing.is_integral_on(demand)
+    assert result.routing.is_supported_on(routing.support_system())
+    assert result.congestion <= result.bound + 1e-9
+
+
+def test_single_path_rounding_is_identity(path4):
+    routing = Routing.single_path(path4, {(0, 3): (0, 1, 2, 3)})
+    demand = Demand({(0, 3): 3.0})
+    result = randomized_rounding(routing, demand, rng=0)
+    assert result.congestion == pytest.approx(3.0)
+    assert result.attempts == 1
+
+
+def test_rounding_on_lp_optimal_routing(cube4):
+    demand = random_permutation_demand(cube4, rng=5)
+    lp = min_congestion_lp(cube4, demand, return_routing=True)
+    result = randomized_rounding(lp.routing, demand, rng=1)
+    bound = rounding_bound(lp.congestion, cube4.num_edges)
+    assert result.congestion <= bound + 1e-9
+    assert result.routing.is_integral_on(demand)
+
+
+def test_require_bound_false_returns_best(cube3):
+    routing = Routing(cube3, {(0, 3): {(0, 1, 3): 0.5, (0, 2, 3): 0.5}})
+    demand = Demand({(0, 3): 2.0})
+    result = randomized_rounding(routing, demand, rng=2, max_attempts=3, require_bound=False)
+    assert result.congestion >= 1.0  # at least one path carries >= 1 unit
+
+
+@settings(max_examples=15, deadline=None)
+@given(units=st.integers(min_value=1, max_value=8))
+def test_property_rounded_weights_are_integer_counts(units):
+    cube = topologies.hypercube(3)
+    routing = Routing(cube, {(0, 7): {(0, 1, 3, 7): 0.4, (0, 2, 6, 7): 0.3, (0, 4, 5, 7): 0.3}})
+    demand = Demand({(0, 7): float(units)})
+    result = randomized_rounding(routing, demand, rng=units, require_bound=False)
+    for path, probability in result.routing.distribution(0, 7).items():
+        weight = probability * units
+        assert abs(weight - round(weight)) < 1e-9

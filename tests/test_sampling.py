@@ -1,0 +1,101 @@
+"""Unit tests for alpha-samples and (alpha + cut)-samples (Definition 5.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.routing import Routing
+from repro.core.sampling import (
+    alpha_plus_cut_sample,
+    alpha_sample,
+    deterministic_top_paths,
+    support_system,
+)
+from repro.exceptions import RoutingError
+from repro.graphs import topologies
+from repro.graphs.cuts import CutCache
+from repro.oblivious.racke import RaeckeTreeRouting
+from repro.oblivious.valiant import ValiantHypercubeRouting
+
+
+def test_alpha_sample_sparsity(cube3, valiant3):
+    system = alpha_sample(valiant3, alpha=3, rng=0)
+    assert system.is_alpha_sparse(3)
+    # All ordered pairs are covered.
+    assert len(system) == cube3.num_vertices * (cube3.num_vertices - 1)
+    for (source, target), paths in system.items():
+        for path in paths:
+            assert path[0] == source and path[-1] == target
+
+
+def test_alpha_sample_subset_of_support(cube3):
+    routing = Routing(cube3, {(0, 3): {(0, 1, 3): 0.5, (0, 2, 3): 0.5}})
+    system = alpha_sample(routing, alpha=5, pairs=[(0, 3)], rng=1)
+    assert set(system.paths(0, 3)) <= {(0, 1, 3), (0, 2, 3)}
+
+
+def test_alpha_sample_rejects_bad_alpha(valiant3):
+    with pytest.raises(RoutingError):
+        alpha_sample(valiant3, alpha=0)
+
+
+def test_alpha_sample_reproducible(valiant3):
+    a = alpha_sample(valiant3, alpha=2, pairs=[(0, 7), (1, 6)], rng=42)
+    b = alpha_sample(valiant3, alpha=2, pairs=[(0, 7), (1, 6)], rng=42)
+    assert {p: tuple(a.paths(*p)) for p in a.pairs()} == {
+        p: tuple(b.paths(*p)) for p in b.pairs()
+    }
+
+
+def test_alpha_plus_cut_sample_respects_cut(cube3, valiant3):
+    cuts = CutCache(cube3)
+    system = alpha_plus_cut_sample(valiant3, alpha=1, cut_oracle=cuts, pairs=[(0, 7)], rng=0)
+    assert len(system.paths(0, 7)) <= 1 + 3  # alpha + cut = 4 samples (duplicates merged)
+    assert system.is_alpha_plus_cut_sparse(1, cuts)
+
+
+def test_alpha_plus_cut_sample_default_oracle(cycle5):
+    oblivious = RaeckeTreeRouting(cycle5, rng=0)
+    system = alpha_plus_cut_sample(oblivious, alpha=1, pairs=[(0, 2)], rng=0)
+    assert len(system.paths(0, 2)) >= 1
+
+
+def test_alpha_plus_cut_sample_negative_alpha(valiant3):
+    with pytest.raises(RoutingError):
+        alpha_plus_cut_sample(valiant3, alpha=-1)
+
+
+def test_deterministic_top_paths(cube3):
+    routing = Routing(cube3, {(0, 3): {(0, 1, 3): 0.7, (0, 2, 3): 0.3}})
+    system = deterministic_top_paths(routing, alpha=1, pairs=[(0, 3)])
+    assert system.paths(0, 3) == [(0, 1, 3)]
+    both = deterministic_top_paths(routing, alpha=5, pairs=[(0, 3)])
+    assert len(both.paths(0, 3)) == 2
+
+
+def test_support_system(cube3):
+    routing = Routing(cube3, {(0, 3): {(0, 1, 3): 0.7, (0, 2, 3): 0.3}})
+    system = support_system(routing, pairs=[(0, 3)])
+    assert set(system.paths(0, 3)) == {(0, 1, 3), (0, 2, 3)}
+
+
+def test_sampling_from_racke_builder(small_expander):
+    oblivious = RaeckeTreeRouting(small_expander, rng=0)
+    pairs = list(small_expander.vertex_pairs(ordered=True))[:10]
+    system = alpha_sample(oblivious, alpha=4, pairs=pairs, rng=0)
+    assert system.is_alpha_sparse(4)
+    assert set(system.pairs()) == set(pairs)
+
+
+def test_sampling_rejects_wrong_source(cube3):
+    with pytest.raises(RoutingError):
+        alpha_sample("not-a-routing", alpha=2)  # type: ignore[arg-type]
+
+
+@settings(max_examples=15, deadline=None)
+@given(alpha=st.integers(min_value=1, max_value=6))
+def test_property_alpha_sample_never_exceeds_alpha(alpha):
+    cube = topologies.hypercube(3)
+    valiant = ValiantHypercubeRouting(cube, 3, rng=0)
+    system = alpha_sample(valiant, alpha=alpha, pairs=[(0, 7), (1, 6), (2, 5)], rng=alpha)
+    assert system.sparsity() <= alpha

@@ -1,0 +1,93 @@
+"""Unit tests for link-failure robustness analysis."""
+
+import pytest
+
+from repro.core.path_system import PathSystem
+from repro.core.sampling import alpha_sample
+from repro.demands.demand import Demand
+from repro.exceptions import GraphError
+from repro.graphs import topologies
+from repro.oblivious.racke import RaeckeTreeRouting
+from repro.te.failures import (
+    evaluate_failure,
+    failed_network,
+    failure_coverage,
+    failure_sweep,
+    surviving_system,
+)
+
+
+def two_path_system(cube3):
+    system = PathSystem(cube3)
+    system.add_path(0, 3, (0, 1, 3))
+    system.add_path(0, 3, (0, 2, 3))
+    return system
+
+
+def test_surviving_system_drops_paths(cube3):
+    system = two_path_system(cube3)
+    survivors = surviving_system(system, (0, 1))
+    assert survivors.paths(0, 3) == [(0, 2, 3)]
+
+
+def test_failure_coverage(cube3):
+    system = two_path_system(cube3)
+    demand = Demand({(0, 3): 1.0})
+    assert failure_coverage(system, demand, (0, 1)) == 1.0
+    # Failing both edges one at a time never drops coverage; a pair with a single
+    # candidate path loses coverage when that path's edge dies.
+    single = PathSystem(cube3)
+    single.add_path(0, 3, (0, 1, 3))
+    assert failure_coverage(single, demand, (0, 1)) == 0.0
+    assert failure_coverage(single, Demand.empty(), (0, 1)) == 1.0
+
+
+def test_failed_network(cube3, path4):
+    remaining = failed_network(cube3, (0, 1))
+    assert remaining is not None
+    assert remaining.num_edges == cube3.num_edges - 1
+    # Removing a bridge of a path graph disconnects it.
+    assert failed_network(path4, (1, 2)) is None
+    with pytest.raises(GraphError):
+        failed_network(cube3, (0, 7))
+
+
+def test_evaluate_failure_with_redundancy(cube3):
+    system = two_path_system(cube3)
+    demand = Demand({(0, 3): 1.0})
+    report = evaluate_failure(system, demand, (0, 1))
+    assert report.coverage == 1.0
+    assert not report.disconnects_network
+    assert report.achieved_congestion is not None
+    assert report.ratio is not None and report.ratio >= 1.0 - 1e-9
+
+
+def test_evaluate_failure_without_redundancy(cube3):
+    single = PathSystem(cube3)
+    single.add_path(0, 3, (0, 1, 3))
+    demand = Demand({(0, 3): 1.0})
+    report = evaluate_failure(single, demand, (0, 1))
+    assert report.coverage == 0.0
+    assert report.achieved_congestion is None
+    assert report.ratio is None
+
+
+def test_evaluate_failure_disconnecting(path4):
+    system = PathSystem(path4)
+    system.add_path(0, 3, (0, 1, 2, 3))
+    report = evaluate_failure(system, Demand({(0, 3): 1.0}), (1, 2))
+    assert report.disconnects_network
+    assert report.optimal_congestion is None
+
+
+def test_failure_sweep_summary(small_expander):
+    oblivious = RaeckeTreeRouting(small_expander, rng=0)
+    demand = Demand({(0, 5): 1.0, (1, 7): 1.0})
+    system = alpha_sample(oblivious, alpha=3, pairs=demand.pairs(), rng=1)
+    summary = failure_sweep(system, demand, edges=small_expander.edges[:8])
+    assert summary.num_failures == 8
+    assert 0.0 <= summary.mean_coverage() <= 1.0
+    assert 0.0 <= summary.full_coverage_fraction() <= 1.0
+    worst = summary.worst_ratio()
+    if worst is not None:
+        assert worst >= 1.0 - 1e-9

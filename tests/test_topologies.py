@@ -1,0 +1,99 @@
+"""Unit tests for the topology zoo."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import topologies
+
+
+def test_hypercube_structure():
+    net = topologies.hypercube(4)
+    assert net.num_vertices == 16
+    assert net.num_edges == 32
+    assert net.max_degree() == 4
+    with pytest.raises(GraphError):
+        topologies.hypercube(0)
+
+
+def test_grid_and_torus():
+    grid = topologies.grid_2d(3, 4)
+    assert grid.num_vertices == 12
+    torus = topologies.torus_2d(3, 4)
+    assert torus.num_vertices == 12
+    assert torus.num_edges == 24  # every vertex has degree 4
+    with pytest.raises(GraphError):
+        topologies.torus_2d(2)
+
+
+def test_complete_cycle_path_star():
+    assert topologies.complete_graph(5).num_edges == 10
+    assert topologies.cycle_graph(6).num_edges == 6
+    assert topologies.path_graph(6).num_edges == 5
+    star = topologies.star_graph(7)
+    assert star.num_vertices == 8
+    assert star.max_degree() == 7
+    with pytest.raises(GraphError):
+        topologies.complete_graph(1)
+    with pytest.raises(GraphError):
+        topologies.cycle_graph(2)
+    with pytest.raises(GraphError):
+        topologies.path_graph(1)
+    with pytest.raises(GraphError):
+        topologies.star_graph(0)
+
+
+def test_random_regular_expander_is_regular():
+    net = topologies.random_regular_expander(14, degree=4, rng=0)
+    assert net.num_vertices == 14
+    degrees = {net.degree(v) for v in net.vertices}
+    assert degrees == {4}
+    with pytest.raises(GraphError):
+        topologies.random_regular_expander(5, degree=5)
+    with pytest.raises(GraphError):
+        topologies.random_regular_expander(7, degree=3)  # odd product
+
+
+def test_fat_tree_structure():
+    net = topologies.fat_tree(4)
+    # k=4: 4 core + 4 pods x (2 agg + 2 edge) = 20 switches
+    assert net.num_vertices == 20
+    with pytest.raises(GraphError):
+        topologies.fat_tree(3)
+
+
+def test_two_cliques_bridged():
+    net = topologies.two_cliques_bridged(5, 3)
+    assert net.num_vertices == 10
+    # 2 * C(5,2) + 3 bridges
+    assert net.num_edges == 2 * 10 + 3
+    with pytest.raises(GraphError):
+        topologies.two_cliques_bridged(3, 5)
+
+
+def test_dumbbell():
+    net = topologies.dumbbell(4, bar_length=3)
+    assert net.num_vertices == 4 + 4 + 2
+    with pytest.raises(GraphError):
+        topologies.dumbbell(1)
+
+
+def test_ring_of_cliques():
+    net = topologies.ring_of_cliques(4, 3)
+    assert net.num_vertices == 12
+    # 4 cliques of C(3,2)=3 edges + 4 ring edges
+    assert net.num_edges == 4 * 3 + 4
+    with pytest.raises(GraphError):
+        topologies.ring_of_cliques(2, 3)
+
+
+def test_path_of_expanders():
+    net = topologies.path_of_expanders(3, 6, degree=3, rng=1)
+    assert net.num_vertices == 18
+    with pytest.raises(GraphError):
+        topologies.path_of_expanders(1, 6)
+
+
+def test_topology_names_are_informative():
+    assert "hypercube" in topologies.hypercube(3).name
+    assert "torus" in topologies.torus_2d(3).name
+    assert "fat-tree" in topologies.fat_tree(2).name
