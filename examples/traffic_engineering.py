@@ -22,9 +22,8 @@ from __future__ import annotations
 import sys
 
 from repro.demands.traffic_matrix import diurnal_gravity_series
+from repro.engine import RoutingEngine
 from repro.graphs.generators import waxman_isp
-from repro.oblivious import RaeckeTreeRouting
-from repro.te import TrafficEngineeringSimulator
 from repro.utils.tables import Table
 
 
@@ -35,18 +34,22 @@ def main(num_nodes: int = 16, snapshots: int = 6, alpha: int = 4, seed: int = 0)
     series = diurnal_gravity_series(network, num_snapshots=snapshots, base_total=20.0, rng=seed + 1)
     print(f"Traffic: {len(series)} gravity-model snapshots with diurnal modulation")
 
-    simulator = TrafficEngineeringSimulator(
+    engine = RoutingEngine(
         network,
-        alpha=alpha,
-        oblivious=RaeckeTreeRouting(network, rng=seed + 2),
-        ksp_k=alpha,
-        rng=seed + 3,
+        {
+            "semi-oblivious": f"semi-oblivious(racke, alpha={alpha})",
+            "oblivious": "oblivious(racke)",
+            "ksp": f"ksp(k={alpha})",
+            "spf": "spf",
+        },
+        rng=seed + 2,
     )
-    simulator.install_paths()
-    print(f"Installed {simulator.semi_oblivious_system.num_paths()} semi-oblivious candidate "
+    engine.install()
+    semi_oblivious = engine["semi-oblivious"]
+    print(f"Installed {semi_oblivious.system.num_paths()} semi-oblivious candidate "
           f"paths once (alpha = {alpha}); only rates adapt per snapshot.\n")
 
-    report = simulator.simulate(series)
+    report = engine.evaluate_matrix_series(series)
 
     table = Table(
         headers=["scheme", "mean ratio", "p90 ratio", "worst ratio"],

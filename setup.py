@@ -1,11 +1,23 @@
-"""Setup shim.
+"""Packaging for the sparse semi-oblivious routing reproduction.
 
-The project is configured through ``pyproject.toml``; this file exists so
-that editable installs keep working in offline environments whose
-setuptools lacks wheel support (``pip install -e . --no-build-isolation``
-falls back to the legacy ``setup.py develop`` path).
+Kept as a plain ``setup.py`` so editable installs keep working in offline
+environments whose setuptools lacks wheel support
+(``pip install -e . --no-build-isolation`` falls back to the legacy
+``setup.py develop`` path).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-semi-oblivious-routing",
+    version="1.1.0",
+    description="Sparse semi-oblivious routing: few random paths suffice (PODC 2023 reproduction)",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy",
+        "scipy",
+        "networkx",
+    ],
+)

@@ -7,18 +7,28 @@ rate optimization, randomized rounding to integral routings, the
 completion-time extension, the lower-bound constructions, and a
 traffic-engineering simulator exercising the SMORE consequence.
 
-Quick start::
+Quick start — every scheme is addressed through the registry::
 
-    from repro import topologies, SemiObliviousRouting, RaeckeTreeRouting
+    from repro import RoutingEngine, build_router, topologies
     from repro.demands import random_permutation_demand
 
     net = topologies.hypercube(4)
-    router = SemiObliviousRouting.sample(
-        net, alpha=4, oblivious=RaeckeTreeRouting(net, rng=0), rng=0
-    )
+    router = build_router("semi-oblivious(racke, alpha=4)", net, rng=0)
+    router.install()                            # offline: materialize paths
     demand = random_permutation_demand(net, rng=1)
-    report = router.evaluate(demand)
-    print(report.ratio)
+    result = router.route(demand)               # online: adapt rates
+    print(result.congestion)
+
+Batch evaluation over many demands shares the cut cache, the sampled
+path systems, and the per-snapshot optimal-MCF solves::
+
+    engine = RoutingEngine(net, ["semi-oblivious(racke, alpha=4)", "ksp(k=4)", "spf"], rng=0)
+    report = engine.evaluate_matrix_series(series)
+    print(report.ranking())
+
+The lower-level objects (:class:`SemiObliviousRouting`,
+:func:`alpha_sample`, the oblivious builders) remain available for code
+that wants to wire the pipeline by hand.
 """
 
 from repro.core import (
@@ -33,6 +43,18 @@ from repro.core import (
     randomized_rounding,
 )
 from repro.demands import Demand
+from repro.engine import (
+    RouteResult,
+    Router,
+    RoutingEngine,
+    SchemeError,
+    SchemeSpec,
+    SemiObliviousRouter,
+    available_schemes,
+    build_router,
+    parse_spec,
+    register_scheme,
+)
 from repro.graphs import Network
 from repro.graphs import topologies
 from repro.mcf import min_congestion_lp, min_congestion_on_paths
@@ -45,7 +67,13 @@ from repro.oblivious import (
     ValiantHypercubeRouting,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Backwards-compatible alias: the pre-engine name for the sampled-paths
+#: pipeline object.  New code should build routers through the registry
+#: (``build_router("semi-oblivious(...)")``) and get a
+#: :class:`~repro.engine.adapters.SemiObliviousRouter` back.
+SemiOblivious = SemiObliviousRouting
 
 __all__ = [
     "__version__",
@@ -55,6 +83,7 @@ __all__ = [
     "PathSystem",
     "Routing",
     "SemiObliviousRouting",
+    "SemiOblivious",
     "alpha_sample",
     "alpha_plus_cut_sample",
     "optimal_rates",
@@ -63,6 +92,18 @@ __all__ = [
     "evaluate_path_system",
     "min_congestion_lp",
     "min_congestion_on_paths",
+    # Engine API (the unified entry points)
+    "Router",
+    "RouteResult",
+    "RoutingEngine",
+    "SemiObliviousRouter",
+    "SchemeSpec",
+    "SchemeError",
+    "parse_spec",
+    "build_router",
+    "register_scheme",
+    "available_schemes",
+    # Oblivious sampling sources
     "RaeckeTreeRouting",
     "ElectricalFlowRouting",
     "ValiantHypercubeRouting",

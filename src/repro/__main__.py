@@ -8,6 +8,19 @@ Subcommands
 
         python -m repro experiments --scale small E1_sparsity_tradeoff E3_lower_bound
         python -m repro experiments --scale paper            # all of them
+        python -m repro experiments --json E8_smore_te       # machine-readable
+
+``te``
+    Traffic-engineering simulation through the scheme registry: pick a
+    topology, a traffic-matrix series length, and any number of scheme
+    specs (``--scheme`` is repeatable)::
+
+        python -m repro te --topology hypercube:4 --snapshots 6 \
+            --scheme "semi-oblivious(racke, alpha=4)" --scheme "ksp(k=4)" --scheme spf
+        python -m repro te --topology waxman:14 --json
+
+``schemes``
+    List the registered scheme names and oblivious sampling sources.
 
 ``list``
     List the available experiment ids with one-line descriptions.
@@ -26,6 +39,7 @@ from typing import List, Optional
 
 from repro.experiments import REGISTRY
 from repro.experiments.harness import ExperimentConfig
+from repro.utils.serialization import dumps as json_dumps
 
 _DESCRIPTIONS = {
     "E1_sparsity_tradeoff": "sparsity vs competitiveness sweep (Theorem 2.5)",
@@ -42,6 +56,15 @@ _DESCRIPTIONS = {
     "E12_robustness": "link-failure robustness of sampled candidate paths",
 }
 
+#: Default scheme specs for the ``te`` subcommand (the SMORE line-up).
+_DEFAULT_TE_SCHEMES = [
+    "semi-oblivious(racke, alpha=4)",
+    "oblivious(racke)",
+    "ksp(k=4)",
+    "spf",
+    "optimal",
+]
+
 
 def _cmd_list() -> int:
     for name in sorted(REGISTRY):
@@ -49,33 +72,119 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_experiments(ids: List[str], scale: str, seed: int) -> int:
+def _cmd_schemes() -> int:
+    from repro.engine import available_sources, scheme_descriptions
+
+    print("schemes:")
+    for name, description in scheme_descriptions().items():
+        print(f"  {name:18s} {description}")
+    print("oblivious sources:")
+    for name in available_sources():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_experiments(ids: List[str], scale: str, seed: int, as_json: bool = False) -> int:
     chosen = ids or sorted(REGISTRY)
     unknown = [name for name in chosen if name not in REGISTRY]
     if unknown:
         print(f"unknown experiment id(s): {unknown}", file=sys.stderr)
         return 2
     config = ExperimentConfig(seed=seed, scale=scale)
+    payloads = []
     for name in chosen:
         start = time.perf_counter()
         result = REGISTRY[name](config)
         elapsed = time.perf_counter() - start
-        print(result.render())
-        print(f"\n[{name} completed in {elapsed:.1f}s at scale={scale}]\n")
+        if as_json:
+            payload = result.to_dict()
+            payload["elapsed_seconds"] = round(elapsed, 3)
+            payload["scale"] = scale
+            payloads.append(payload)
+        else:
+            print(result.render())
+            print(f"\n[{name} completed in {elapsed:.1f}s at scale={scale}]\n")
+    if as_json:
+        print(json_dumps(payloads))
+    return 0
+
+
+def _build_te_network(topology: str, seed: int):
+    """Parse ``name[:size]`` into a Network (hypercube:4, waxman:14, ...)."""
+    from repro.graphs import topologies
+    from repro.graphs.generators import waxman_isp
+
+    name, _, size_text = topology.partition(":")
+    try:
+        size = int(size_text) if size_text else None
+    except ValueError:
+        raise SystemExit(f"topology size must be an integer, got {topology!r}")
+    if name == "hypercube":
+        return topologies.hypercube(size if size is not None else 4)
+    if name == "torus":
+        return topologies.torus_2d(size if size is not None else 4)
+    if name == "expander":
+        return topologies.random_regular_expander(size if size is not None else 12, rng=seed)
+    if name == "waxman":
+        return waxman_isp(size if size is not None else 14, rng=seed)
+    raise SystemExit(f"unknown topology {topology!r} (use hypercube:K, torus:K, expander:N, waxman:N)")
+
+
+def _cmd_te(
+    topology: str,
+    schemes: List[str],
+    snapshots: int,
+    seed: int,
+    as_json: bool,
+) -> int:
+    from repro.demands.traffic_matrix import diurnal_gravity_series
+    from repro.engine import RoutingEngine
+    from repro.exceptions import ReproError
+
+    network = _build_te_network(topology, seed)
+    try:
+        series = diurnal_gravity_series(network, num_snapshots=snapshots, rng=seed + 1)
+    except ReproError as error:
+        print(f"bad traffic series: {error}", file=sys.stderr)
+        return 2
+    try:
+        engine = RoutingEngine(network, schemes or _DEFAULT_TE_SCHEMES, rng=seed)
+    except ReproError as error:
+        print(f"bad scheme spec: {error}", file=sys.stderr)
+        return 2
+    start = time.perf_counter()
+    report = engine.evaluate_matrix_series(series)
+    elapsed = time.perf_counter() - start
+    if as_json:
+        payload = report.to_dict()
+        payload["elapsed_seconds"] = round(elapsed, 3)
+        payload["optimal_mcf_solves"] = engine.num_optimal_solves
+        print(json_dumps(payload))
+        return 0
+    print(f"{network.name}: {network.num_vertices} vertices, {network.num_edges} edges, "
+          f"{len(series)} snapshots")
+    header = f"{'scheme':22s} {'mean':>8s} {'p90':>8s} {'worst':>8s}"
+    print(header)
+    print("-" * len(header))
+    for label in report.ranking():
+        result = report.results[label]
+        print(f"{label:22s} {result.mean_ratio():8.3f} "
+              f"{result.percentile_ratio(90.0):8.3f} {result.worst_ratio():8.3f}")
+    print(f"[{engine.num_optimal_solves} optimal MCF solve(s) shared across "
+          f"{len(report.results)} scheme(s), {elapsed:.1f}s]")
     return 0
 
 
 def _cmd_quickstart(dimension: int, alpha: int) -> int:
-    from repro import SemiObliviousRouting, topologies
+    from repro import build_router, topologies
     from repro.demands import random_permutation_demand
     from repro.mcf import min_congestion_lp
-    from repro.oblivious import ValiantHypercubeRouting
 
     network = topologies.hypercube(dimension)
-    oblivious = ValiantHypercubeRouting(network, dimension, rng=0)
-    router = SemiObliviousRouting.sample(network, alpha=alpha, oblivious=oblivious, rng=0)
+    router = build_router(f"semi-oblivious(valiant, alpha={alpha})", network, rng=0)
+    router.install()
     demand = random_permutation_demand(network, rng=1)
-    achieved = router.congestion(demand)
+    achieved = router.route(demand).congestion
     optimum = min_congestion_lp(network, demand).congestion
     print(f"{network.name}: alpha={alpha}, achieved={achieved:.3f}, "
           f"optimum={optimum:.3f}, ratio={achieved / max(optimum, 1e-12):.3f}")
@@ -87,11 +196,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list available experiments")
+    subparsers.add_parser("schemes", help="list registered routing schemes and sources")
 
     exp_parser = subparsers.add_parser("experiments", help="run experiments and print their tables")
     exp_parser.add_argument("ids", nargs="*", help="experiment ids (default: all)")
     exp_parser.add_argument("--scale", choices=("smoke", "small", "paper"), default="small")
     exp_parser.add_argument("--seed", type=int, default=0)
+    exp_parser.add_argument("--json", action="store_true", help="print JSON instead of tables")
+
+    te_parser = subparsers.add_parser("te", help="traffic-engineering simulation via scheme specs")
+    te_parser.add_argument("--topology", default="waxman:14",
+                           help="hypercube:K, torus:K, expander:N or waxman:N (default waxman:14)")
+    te_parser.add_argument("--scheme", action="append", default=[], dest="schemes",
+                           help="scheme spec, repeatable (default: the SMORE line-up)")
+    te_parser.add_argument("--snapshots", type=int, default=4)
+    te_parser.add_argument("--seed", type=int, default=0)
+    te_parser.add_argument("--json", action="store_true", help="print the report as JSON")
 
     quick_parser = subparsers.add_parser("quickstart", help="tiny end-to-end pipeline check")
     quick_parser.add_argument("--dimension", type=int, default=3)
@@ -100,8 +220,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "schemes":
+        return _cmd_schemes()
     if args.command == "experiments":
-        return _cmd_experiments(args.ids, args.scale, args.seed)
+        return _cmd_experiments(args.ids, args.scale, args.seed, as_json=args.json)
+    if args.command == "te":
+        return _cmd_te(args.topology, args.schemes, args.snapshots, args.seed, as_json=args.json)
     if args.command == "quickstart":
         return _cmd_quickstart(args.dimension, args.alpha)
     return 2

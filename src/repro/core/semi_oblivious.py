@@ -1,4 +1,4 @@
-"""The main user-facing object: :class:`SemiObliviousRouting`.
+"""The hand-wired pipeline object: :class:`SemiObliviousRouting`.
 
 Semi-oblivious routing in one line (Section 1.1): *sample a few paths
 from any competitive oblivious routing, then adapt the sending rates to
@@ -11,9 +11,21 @@ the demand*.  This class packages the whole pipeline:
    (fractional) and optionally round them to an integral routing,
 4. report congestion / completion time / competitive ratios.
 
-A typical session::
+Most code should construct schemes through the registry instead, which
+returns a :class:`~repro.engine.adapters.SemiObliviousRouter` adapter
+satisfying the uniform :class:`~repro.engine.router.Router` protocol::
+
+    from repro import build_router, topologies
 
     net = topologies.hypercube(6)
+    router = build_router("semi-oblivious(racke, alpha=4)", net, rng=0)
+    router.install()
+    result = router.route(demand)              # RouteResult (LP-optimal rates)
+
+This class remains the explicit, low-level form of the same pipeline —
+useful when you already hold a :class:`PathSystem` or need the rounding
+and competitive-report helpers directly::
+
     router = SemiObliviousRouting.sample(
         net, alpha=4, oblivious=RaeckeTreeRouting(net, rng=0), rng=0
     )

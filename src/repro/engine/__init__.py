@@ -1,0 +1,70 @@
+"""Unified routing engine: Router protocol, scheme registry, batch facade.
+
+The paper's observation (Section 1.1) is that many routing schemes share
+one operational shape — install candidate paths once, then re-optimize
+rates per revealed demand.  This package turns that observation into the
+repository's public API:
+
+* :class:`~repro.engine.router.Router` / :class:`~repro.engine.router.RouteResult`
+  — the protocol every scheme implements,
+* :mod:`~repro.engine.adapters` — adapters wrapping every existing
+  construction (semi-oblivious sampling, fixed-ratio oblivious routings,
+  adaptive KSP, per-demand optimal MCF),
+* :func:`~repro.engine.registry.build_router` and the string-keyed
+  scheme registry (``"semi-oblivious(racke, alpha=8)"``, ``"ksp(k=4)"``,
+  ``"optimal"``) with :func:`~repro.engine.registry.register_scheme`
+  for user extensions,
+* :class:`~repro.engine.engine.RoutingEngine` — the batch facade that
+  shares cut caches, builder distribution caches and optimal-MCF solves
+  across schemes and demands.
+"""
+
+from repro.engine.router import Router, RouteResult, congestion_ratio
+from repro.engine.adapters import (
+    AdaptivePathRouter,
+    BaseRouter,
+    FixedRatioRouter,
+    OptimalRouter,
+    SemiObliviousRouter,
+)
+from repro.engine.registry import (
+    EngineContext,
+    MemoizedOptimalSolver,
+    SchemeError,
+    SchemeSpec,
+    available_schemes,
+    available_sources,
+    build_oblivious_source,
+    build_router,
+    parse_spec,
+    register_scheme,
+    scheme_descriptions,
+    unregister_scheme,
+)
+from repro.engine.engine import RoutingEngine, SchemeResult, SimulationReport
+
+__all__ = [
+    "Router",
+    "RouteResult",
+    "congestion_ratio",
+    "BaseRouter",
+    "SemiObliviousRouter",
+    "AdaptivePathRouter",
+    "FixedRatioRouter",
+    "OptimalRouter",
+    "EngineContext",
+    "MemoizedOptimalSolver",
+    "SchemeError",
+    "SchemeSpec",
+    "parse_spec",
+    "register_scheme",
+    "unregister_scheme",
+    "available_schemes",
+    "available_sources",
+    "scheme_descriptions",
+    "build_router",
+    "build_oblivious_source",
+    "RoutingEngine",
+    "SchemeResult",
+    "SimulationReport",
+]

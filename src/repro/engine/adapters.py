@@ -1,0 +1,297 @@
+"""Concrete :class:`~repro.engine.router.Router` adapters.
+
+Each adapter wraps one of the repository's existing constructions behind
+the uniform install/route shape:
+
+* :class:`SemiObliviousRouter` — the paper's scheme: α-sample (or
+  (α + cut)-sample) a competitive oblivious routing once, then adapt
+  rates per demand (Definition 5.2 + Section 2.1 stage 4),
+* :class:`AdaptivePathRouter` — the full support of any builder as the
+  candidate set with adaptive rates (the classical k-shortest-paths TE
+  baseline when wrapping :class:`KShortestPathRouting`),
+* :class:`FixedRatioRouter` — a materialized oblivious routing with
+  *fixed* splitting ratios, no adaptation (covers Räcke, Valiant,
+  electrical, shortest-path and hop-constrained sources),
+* :class:`OptimalRouter` — the per-demand optimal MCF (ratio 1 by
+  definition; the normalizer every other scheme is measured against).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterable, List, Optional
+
+from repro.core.path_system import PathSystem
+from repro.core.rate_adaptation import optimal_rates
+from repro.core.routing import Routing
+from repro.core.sampling import alpha_plus_cut_sample, alpha_sample, support_system
+from repro.demands.demand import Demand
+from repro.exceptions import RoutingError, SolverError
+from repro.graphs.cuts import CutCache
+from repro.graphs.network import Network
+from repro.mcf.lp import min_congestion_lp
+from repro.oblivious.base import ObliviousRoutingBuilder
+from repro.utils.rng import RngLike, ensure_rng
+
+from repro.engine.router import Pair, RouteResult
+
+
+class BaseRouter(abc.ABC):
+    """Shared install-once bookkeeping for the bundled adapters."""
+
+    def __init__(self, network: Network, name: str) -> None:
+        self._network = network
+        self.name = name
+        self._installed = False
+
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    @property
+    def installed(self) -> bool:
+        return self._installed
+
+    def install(self, pairs: Optional[Iterable[Pair]] = None) -> None:
+        if pairs is None:
+            pairs = list(self._network.vertex_pairs(ordered=True))
+        else:
+            pairs = list(pairs)
+        self._install(pairs)
+        self._installed = True
+
+    def route(self, demand: Demand) -> RouteResult:
+        if not self._installed:
+            raise SolverError(f"router {self.name!r}: call install() before route()")
+        return self._route(demand)
+
+    @abc.abstractmethod
+    def _install(self, pairs: List[Pair]) -> None:
+        """Materialize candidate paths for ``pairs``."""
+
+    @abc.abstractmethod
+    def _route(self, demand: Demand) -> RouteResult:
+        """Route ``demand`` over the installed paths."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, installed={self._installed})"
+
+
+class SemiObliviousRouter(BaseRouter):
+    """The paper's scheme: sample few paths once, adapt rates per demand.
+
+    Parameters
+    ----------
+    network:
+        The topology.
+    oblivious:
+        Builder for the oblivious routing to sample from.
+    alpha:
+        Samples per pair (α); SMORE uses 4.
+    cut:
+        When True, draw ``alpha + cut_G(s, t)`` samples per pair (the
+        (α + cut)-sample of Definition 5.2, needed for arbitrary
+        demands).
+    cut_cache:
+        Shared min-cut oracle (the engine passes one cache for all
+        schemes; a private one is created otherwise).
+    method:
+        Rate-adaptation engine, ``"lp"`` (exact) or ``"greedy"``.
+    rng:
+        Randomness for the sampling step.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        oblivious: ObliviousRoutingBuilder,
+        alpha: int = 4,
+        cut: bool = False,
+        cut_cache: Optional[CutCache] = None,
+        method: str = "lp",
+        rng: RngLike = None,
+        name: str = "semi-oblivious",
+    ) -> None:
+        super().__init__(network, name)
+        self._oblivious = oblivious
+        self._alpha = alpha
+        self._cut = cut
+        self._cut_cache = cut_cache
+        self._method = method
+        self._rng = ensure_rng(rng)
+        self._system: Optional[PathSystem] = None
+
+    @property
+    def alpha(self) -> int:
+        return self._alpha
+
+    @property
+    def method(self) -> str:
+        """Rate-adaptation engine; may be reassigned between routes."""
+        return self._method
+
+    @method.setter
+    def method(self, method: str) -> None:
+        self._method = method
+
+    @property
+    def oblivious(self) -> ObliviousRoutingBuilder:
+        return self._oblivious
+
+    @property
+    def system(self) -> PathSystem:
+        if self._system is None:
+            raise SolverError(f"router {self.name!r}: call install() before reading the system")
+        return self._system
+
+    def _install(self, pairs: List[Pair]) -> None:
+        if self._cut:
+            oracle = self._cut_cache if self._cut_cache is not None else CutCache(self._network)
+            self._system = alpha_plus_cut_sample(
+                self._oblivious, self._alpha, cut_oracle=oracle, pairs=pairs, rng=self._rng
+            )
+        else:
+            self._system = alpha_sample(self._oblivious, self._alpha, pairs=pairs, rng=self._rng)
+
+    def _route(self, demand: Demand) -> RouteResult:
+        adaptation = optimal_rates(self._system, demand, method=self._method)
+        return RouteResult(
+            scheme=self.name,
+            congestion=adaptation.congestion,
+            routing=adaptation.routing,
+            method=adaptation.method,
+            extra={"alpha": self._alpha, "sparsity": self._system.sparsity()},
+        )
+
+
+class AdaptivePathRouter(BaseRouter):
+    """Adaptive rates over the full support of a path-distribution builder.
+
+    Wrapping :class:`~repro.oblivious.shortest_path.KShortestPathRouting`
+    yields the classical adaptive k-shortest-paths TE baseline.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        builder: ObliviousRoutingBuilder,
+        method: str = "lp",
+        name: str = "adaptive",
+    ) -> None:
+        super().__init__(network, name)
+        self._builder = builder
+        self._method = method
+        self._system: Optional[PathSystem] = None
+
+    @property
+    def builder(self) -> ObliviousRoutingBuilder:
+        return self._builder
+
+    @property
+    def method(self) -> str:
+        """Rate-adaptation engine; may be reassigned between routes."""
+        return self._method
+
+    @method.setter
+    def method(self, method: str) -> None:
+        self._method = method
+
+    @property
+    def system(self) -> PathSystem:
+        if self._system is None:
+            raise SolverError(f"router {self.name!r}: call install() before reading the system")
+        return self._system
+
+    def _install(self, pairs: List[Pair]) -> None:
+        self._system = support_system(self._builder, pairs=pairs)
+
+    def _route(self, demand: Demand) -> RouteResult:
+        adaptation = optimal_rates(self._system, demand, method=self._method)
+        return RouteResult(
+            scheme=self.name,
+            congestion=adaptation.congestion,
+            routing=adaptation.routing,
+            method=adaptation.method,
+        )
+
+
+class FixedRatioRouter(BaseRouter):
+    """A materialized oblivious routing with fixed splitting ratios.
+
+    No online adaptation: the congestion of a demand is read off the
+    fixed path distributions.  Covers the plain-oblivious and
+    single-shortest-path TE baselines.
+    """
+
+    def __init__(self, network: Network, builder: ObliviousRoutingBuilder, name: str = "oblivious") -> None:
+        super().__init__(network, name)
+        self._builder = builder
+        self._routing: Optional[Routing] = None
+
+    @property
+    def builder(self) -> ObliviousRoutingBuilder:
+        return self._builder
+
+    @property
+    def routing(self) -> Routing:
+        if self._routing is None:
+            raise SolverError(f"router {self.name!r}: call install() before reading the routing")
+        return self._routing
+
+    def _install(self, pairs: List[Pair]) -> None:
+        self._routing = self._builder.routing(pairs=pairs)
+
+    def _route(self, demand: Demand) -> RouteResult:
+        for source, target in demand.pairs():
+            if not self._routing.covers(source, target):
+                raise RoutingError(
+                    f"router {self.name!r} was installed without pair {(source, target)!r}"
+                )
+        return RouteResult(
+            scheme=self.name,
+            congestion=self._routing.congestion(demand),
+            routing=self._routing,
+            method="fixed",
+        )
+
+
+class OptimalRouter(BaseRouter):
+    """The per-demand optimal MCF (the normalizer; ratio 1 by definition).
+
+    ``solver`` lets the engine inject a shared memoizing solver so the
+    LP runs at most once per snapshot even when the optimum is also
+    needed to normalize other schemes.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        solver: Optional[Callable[[Demand], float]] = None,
+        name: str = "optimal",
+    ) -> None:
+        super().__init__(network, name)
+        self._solver = solver
+
+    def _install(self, pairs: List[Pair]) -> None:
+        pass  # nothing to install: the MCF uses every edge of the network
+
+    def _route(self, demand: Demand) -> RouteResult:
+        if self._solver is not None:
+            congestion = self._solver(demand)
+        else:
+            congestion = min_congestion_lp(self._network, demand).congestion
+        return RouteResult(
+            scheme=self.name,
+            congestion=congestion,
+            optimal_congestion=congestion,
+            method="mcf",
+        )
+
+
+__all__ = [
+    "BaseRouter",
+    "SemiObliviousRouter",
+    "AdaptivePathRouter",
+    "FixedRatioRouter",
+    "OptimalRouter",
+]

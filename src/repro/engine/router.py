@@ -1,0 +1,118 @@
+"""The :class:`Router` protocol and its :class:`RouteResult` outcome.
+
+Every routing scheme in the repository — semi-oblivious sampling,
+fixed-ratio oblivious routings, adaptive k-shortest-paths, the
+per-demand optimal MCF — shares one operational shape (Section 1.1 /
+[KYY+18]): *install* a candidate path system once (the slow, offline
+step that updates forwarding state), then *route* each revealed demand
+by re-optimizing only the sending rates.  The :class:`Router` protocol
+captures exactly that shape so that the TE simulator, the CLI, the
+experiments and the benchmarks can treat all schemes uniformly::
+
+    router = build_router("semi-oblivious(racke, alpha=4)", network, rng=0)
+    router.install()                   # offline: materialize paths
+    result = router.route(demand)      # online: adapt rates
+    print(result.congestion, result.ratio)
+
+Concrete implementations live in :mod:`repro.engine.adapters`; they are
+normally constructed through the scheme registry
+(:mod:`repro.engine.registry`) rather than by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Protocol, Tuple, runtime_checkable
+
+from repro.core.routing import Routing
+from repro.demands.demand import Demand
+from repro.graphs.network import Vertex
+
+Pair = Tuple[Vertex, Vertex]
+
+
+def congestion_ratio(achieved: float, optimal: Optional[float]) -> float:
+    """``achieved / optimal`` with the TE-simulator edge-case conventions.
+
+    A zero optimum means the demand is routable at no cost: the ratio is
+    1 when the scheme also achieves (essentially) zero congestion and
+    infinite otherwise.  ``None``/missing optimum yields NaN.
+    """
+    if optimal is None:
+        return float("nan")
+    if optimal > 0:
+        return achieved / optimal
+    return 1.0 if achieved <= 0 else float("inf")
+
+
+@dataclass
+class RouteResult:
+    """Outcome of routing one demand through one scheme.
+
+    Attributes
+    ----------
+    scheme:
+        Label of the scheme that produced the result.
+    congestion:
+        Maximum link utilization achieved by the scheme.
+    optimal_congestion:
+        The per-demand MCF optimum, when known (filled in by
+        :class:`~repro.engine.engine.RoutingEngine`, which solves it at
+        most once per snapshot and shares it across schemes).
+    routing:
+        The realizing fractional routing, when the scheme exposes one.
+    method:
+        Rate-adaptation engine used (``"lp"``, ``"greedy"``, ``"fixed"``,
+        ``"mcf"``), informational.
+    extra:
+        Free-form scheme-specific metadata (e.g. sparsity).
+    """
+
+    scheme: str
+    congestion: float
+    optimal_congestion: Optional[float] = None
+    routing: Optional[Routing] = None
+    method: Optional[str] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ratio(self) -> float:
+        """Utilization ratio vs the optimum (>= 1; NaN when unknown)."""
+        return congestion_ratio(self.congestion, self.optimal_congestion)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable summary (the routing itself is not embedded)."""
+        payload: Dict[str, Any] = {
+            "scheme": self.scheme,
+            "congestion": self.congestion,
+            "optimal_congestion": self.optimal_congestion,
+            "ratio": None if self.optimal_congestion is None else self.ratio,
+            "method": self.method,
+        }
+        if self.extra:
+            payload["extra"] = dict(self.extra)
+        return payload
+
+
+@runtime_checkable
+class Router(Protocol):
+    """Structural interface every routing scheme implements.
+
+    Anything with a ``name``, an ``install()`` and a
+    ``route(demand) -> RouteResult`` is a router — user code can
+    register plain classes with the scheme registry without inheriting
+    from the package's base classes.
+    """
+
+    name: str
+
+    def install(self, pairs: Optional[Iterable[Pair]] = None) -> None:
+        """Materialize candidate paths (the slow, offline step)."""
+        ...
+
+    def route(self, demand: Demand) -> RouteResult:
+        """Route one revealed demand over the installed paths."""
+        ...
+
+
+__all__ = ["Router", "RouteResult", "congestion_ratio", "Pair"]

@@ -9,6 +9,11 @@ per-snapshot MCF optimum) of:
 * adaptive k-shortest-paths,
 * single shortest path.
 
+All schemes are built through the scheme registry and evaluated by one
+:class:`~repro.engine.engine.RoutingEngine`, so the semi-oblivious and
+fixed-ratio schemes share a single Räcke construction and the
+per-snapshot optimum is solved exactly once.
+
 The qualitative claim to reproduce: semi-oblivious is close to optimal
 (ratio near 1), clearly better than the non-adaptive oblivious routing
 and far better than single-path routing — which is why α ≈ 4 is the
@@ -18,10 +23,9 @@ practical sweet spot the paper explains.
 from __future__ import annotations
 
 from repro.demands.traffic_matrix import diurnal_gravity_series
+from repro.engine import RoutingEngine
 from repro.experiments.harness import ExperimentConfig, ExperimentResult
 from repro.graphs.generators import waxman_isp
-from repro.oblivious.racke import RaeckeTreeRouting
-from repro.te.simulation import TrafficEngineeringSimulator
 from repro.utils.rng import ensure_rng
 
 _DEFAULTS = {
@@ -41,15 +45,18 @@ def run(config: ExperimentConfig) -> ExperimentResult:
 
     network = waxman_isp(n, rng=rng)
     series = diurnal_gravity_series(network, num_snapshots=snapshots, rng=rng)
-    simulator = TrafficEngineeringSimulator(
+    engine = RoutingEngine(
         network,
-        alpha=alpha,
-        oblivious=RaeckeTreeRouting(network, rng=rng),
-        ksp_k=alpha,
+        {
+            "semi-oblivious": f"semi-oblivious(racke, alpha={alpha})",
+            "oblivious": "oblivious(racke)",
+            "ksp": f"ksp(k={alpha})",
+            "spf": "spf",
+        },
         rng=rng,
     )
-    simulator.install_paths()
-    report = simulator.simulate(series)
+    engine.install()
+    report = engine.evaluate_matrix_series(series)
 
     for scheme, scheme_result in report.results.items():
         result.add_row(
@@ -64,11 +71,13 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             p90_ratio=round(scheme_result.percentile_ratio(90.0), 3),
             worst_ratio=round(scheme_result.worst_ratio(), 3),
         )
+    semi_oblivious = engine["semi-oblivious"]
     result.add_row(
         "te_sparsity",
         scheme="semi-oblivious",
-        installed_paths=simulator.semi_oblivious_system.num_paths(),
-        sparsity=simulator.semi_oblivious_system.sparsity(),
+        installed_paths=semi_oblivious.system.num_paths(),
+        sparsity=semi_oblivious.system.sparsity(),
+        optimal_mcf_solves=engine.num_optimal_solves,
     )
     result.add_note(
         "Expected ordering of mean ratios: semi-oblivious <= ksp < oblivious << spf, with "

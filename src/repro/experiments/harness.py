@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.utils.serialization import dumps as _json_dumps
 from repro.utils.tables import Table
 
 
@@ -67,6 +68,25 @@ class ExperimentResult:
                 if key not in columns:
                     columns.append(key)
         return columns
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form: id, tables, notes, and the config used."""
+        payload: Dict[str, Any] = {
+            "experiment_id": self.experiment_id,
+            "tables": {name: [dict(row) for row in rows] for name, rows in self.tables.items()},
+            "notes": list(self.notes),
+        }
+        if self.config is not None:
+            payload["config"] = {
+                "seed": self.config.seed,
+                "scale": self.config.scale,
+                "overrides": dict(self.config.overrides),
+            }
+        return payload
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """JSON rendering (non-finite floats become null per strict JSON)."""
+        return _json_dumps(self.to_dict(), indent=indent)
 
     def render(self) -> str:
         """Render every table and note as plain text."""

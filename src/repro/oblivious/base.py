@@ -10,7 +10,8 @@ per-pair work so that repeated sampling from the same routing is cheap.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Iterable, List, Optional, Tuple
+from types import MappingProxyType
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.routing import Routing
 from repro.exceptions import RoutingError
@@ -50,8 +51,13 @@ class ObliviousRoutingBuilder(abc.ABC):
     # ------------------------------------------------------------------ #
     # Materialization
     # ------------------------------------------------------------------ #
-    def pair_distribution(self, source: Vertex, target: Vertex) -> Dict[Path, float]:
-        """Cached access to ``distribution_for``."""
+    def pair_distribution(self, source: Vertex, target: Vertex) -> Mapping[Path, float]:
+        """Cached access to ``distribution_for``.
+
+        Returns a read-only view of the cached distribution — callers
+        share the cache entry without being able to corrupt it, and
+        repeated access copies nothing.
+        """
         if source == target:
             raise RoutingError("oblivious routings do not route a vertex to itself")
         key = (source, target)
@@ -60,7 +66,23 @@ class ObliviousRoutingBuilder(abc.ABC):
             if not distribution:
                 raise RoutingError(f"builder produced an empty distribution for {key!r}")
             self._cache[key] = dict(distribution)
-        return dict(self._cache[key])
+        return MappingProxyType(self._cache[key])
+
+    def prewarm(self, pairs: Iterable[Pair]) -> int:
+        """Bulk-fill the per-pair cache for ``pairs`` (self-pairs skipped).
+
+        Used by the engine's batch path so that every scheme sharing
+        this builder finds a warm cache.  Returns the number of pairs
+        newly computed.
+        """
+        computed = 0
+        for source, target in pairs:
+            if source == target:
+                continue
+            if (source, target) not in self._cache:
+                self.pair_distribution(source, target)
+                computed += 1
+        return computed
 
     def routing(self, pairs: Optional[Iterable[Pair]] = None) -> Routing:
         """Materialize a routing over ``pairs`` (default: every ordered pair)."""

@@ -6,10 +6,18 @@ is slow), and only the sending rates are re-optimized per traffic-matrix
 snapshot (rates can be pushed every few seconds).  The simulator replays
 a traffic-matrix series against several schemes and reports, per
 snapshot, the maximum link utilization normalized by the per-snapshot
-optimal MCF:
+optimal MCF.
 
-* ``semi-oblivious (alpha=k)`` — the paper's construction: α paths
-  sampled from an oblivious routing, rates re-optimized per snapshot,
+Since the engine redesign, :class:`TrafficEngineeringSimulator` is a
+thin compatibility shell over :class:`~repro.engine.engine.RoutingEngine`:
+every scheme — the defaults below and any user-supplied spec — is built
+through the scheme registry (:mod:`repro.engine.registry`), and the
+per-snapshot optimum is solved at most once and shared across schemes.
+
+Default schemes:
+
+* ``semi-oblivious`` — the paper's construction: α paths sampled from
+  an oblivious routing, rates re-optimized per snapshot,
 * ``oblivious`` — the base oblivious routing with *fixed* splitting
   ratios (no adaptation),
 * ``ksp`` — k-shortest-path candidate sets with adaptive rates (the
@@ -20,61 +28,16 @@ optimal MCF:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import Mapping, Optional, Sequence
 
 from repro.core.path_system import PathSystem
-from repro.core.rate_adaptation import optimal_rates
-from repro.core.routing import Routing
-from repro.core.sampling import alpha_sample
-from repro.demands.demand import Demand
 from repro.demands.traffic_matrix import TrafficMatrixSeries
+from repro.engine.engine import RoutingEngine, SchemeResult, SimulationReport, SpecLike
 from repro.exceptions import SolverError
 from repro.graphs.network import Network
-from repro.mcf.lp import min_congestion_lp
 from repro.oblivious.base import ObliviousRoutingBuilder
 from repro.oblivious.racke import RaeckeTreeRouting
-from repro.oblivious.shortest_path import KShortestPathRouting, ShortestPathRouting
 from repro.utils.rng import RngLike, ensure_rng
-
-
-@dataclass
-class SchemeResult:
-    """Per-scheme outcome of a TE simulation.
-
-    ``utilization_ratios`` holds, per snapshot, the scheme's maximum link
-    utilization divided by the per-snapshot optimum (>= 1).
-    """
-
-    scheme: str
-    utilization_ratios: List[float] = field(default_factory=list)
-    max_utilizations: List[float] = field(default_factory=list)
-
-    def worst_ratio(self) -> float:
-        return max(self.utilization_ratios, default=float("nan"))
-
-    def mean_ratio(self) -> float:
-        finite = [r for r in self.utilization_ratios if np.isfinite(r)]
-        return float(np.mean(finite)) if finite else float("nan")
-
-    def percentile_ratio(self, percentile: float) -> float:
-        finite = [r for r in self.utilization_ratios if np.isfinite(r)]
-        return float(np.percentile(finite, percentile)) if finite else float("nan")
-
-
-@dataclass
-class SimulationReport:
-    """Full TE simulation output: one :class:`SchemeResult` per scheme."""
-
-    network_name: str
-    num_snapshots: int
-    results: Dict[str, SchemeResult] = field(default_factory=dict)
-
-    def ranking(self) -> List[str]:
-        """Schemes ordered from best to worst mean utilization ratio."""
-        return sorted(self.results, key=lambda scheme: self.results[scheme].mean_ratio())
 
 
 class TrafficEngineeringSimulator:
@@ -89,11 +52,16 @@ class TrafficEngineeringSimulator:
         scheme (SMORE uses 4).
     oblivious:
         The oblivious routing to sample from (defaults to the Räcke-style
-        tree routing).
+        tree routing).  Shared between the ``semi-oblivious`` and
+        ``oblivious`` schemes, per-pair distribution cache included.
     ksp_k:
         Number of paths for the k-shortest-path baseline.
     rng:
         Randomness source for sampling.
+    schemes:
+        Optional override of the default scheme set: a mapping
+        ``label -> scheme spec`` (registry strings, dicts, or ready
+        routers).  When given, ``alpha``/``ksp_k`` are ignored.
     """
 
     def __init__(
@@ -103,46 +71,53 @@ class TrafficEngineeringSimulator:
         oblivious: Optional[ObliviousRoutingBuilder] = None,
         ksp_k: int = 4,
         rng: RngLike = None,
+        schemes: Optional[Mapping[str, SpecLike]] = None,
     ) -> None:
         self._network = network
-        self._alpha = alpha
         self._rng = ensure_rng(rng)
-        self._oblivious = oblivious if oblivious is not None else RaeckeTreeRouting(network, rng=self._rng)
-        self._ksp_k = ksp_k
-        self._semi_oblivious_system: Optional[PathSystem] = None
-        self._ksp_system: Optional[PathSystem] = None
-        self._oblivious_routing: Optional[Routing] = None
-        self._spf_routing: Optional[Routing] = None
+        self._oblivious = oblivious
+        if schemes is None:
+            if self._oblivious is None:
+                self._oblivious = RaeckeTreeRouting(network, rng=self._rng)
+            schemes = {
+                "semi-oblivious": {
+                    "scheme": "semi-oblivious",
+                    "oblivious": self._oblivious,
+                    "alpha": alpha,
+                },
+                "oblivious": {"scheme": "oblivious", "oblivious": self._oblivious},
+                "ksp": f"ksp(k={ksp_k})",
+                "spf": "spf",
+                "optimal": "optimal",
+            }
+        self._engine = RoutingEngine(network, schemes, rng=self._rng)
+        self._installed = False
+
+    @property
+    def engine(self) -> RoutingEngine:
+        """The underlying batch engine (shared caches, registry routers)."""
+        return self._engine
 
     # ------------------------------------------------------------------ #
     # Offline phase: install candidate paths once.
     # ------------------------------------------------------------------ #
     def install_paths(self, pairs: Optional[Sequence] = None) -> None:
         """Install candidate paths for every scheme (the slow, offline step)."""
-        if pairs is None:
-            pairs = list(self._network.vertex_pairs(ordered=True))
-        self._semi_oblivious_system = alpha_sample(
-            self._oblivious, self._alpha, pairs=pairs, rng=self._rng
-        )
-        ksp_builder = KShortestPathRouting(self._network, k=self._ksp_k)
-        ksp_system = PathSystem(self._network)
-        for source, target in pairs:
-            if source == target:
-                continue
-            ksp_system.add_paths(source, target, ksp_builder.pair_distribution(source, target).keys())
-        self._ksp_system = ksp_system
-        self._oblivious_routing = self._oblivious.routing(pairs=pairs)
-        spf_builder = ShortestPathRouting(self._network)
-        self._spf_routing = spf_builder.routing(pairs=pairs)
+        self._engine.install(pairs=pairs)
+        self._installed = True
 
     def _require_installed(self) -> None:
-        if self._semi_oblivious_system is None:
+        if not self._installed:
             raise SolverError("call install_paths() before simulating")
 
     @property
     def semi_oblivious_system(self) -> PathSystem:
         self._require_installed()
-        return self._semi_oblivious_system  # type: ignore[return-value]
+        router = self._engine["semi-oblivious"]
+        system = getattr(router, "system", None)
+        if system is None:
+            raise SolverError("the 'semi-oblivious' scheme does not expose a path system")
+        return system
 
     # ------------------------------------------------------------------ #
     # Online phase: per-snapshot rate adaptation.
@@ -155,33 +130,16 @@ class TrafficEngineeringSimulator:
     ) -> SimulationReport:
         """Replay ``series`` and report per-scheme utilization ratios."""
         self._require_installed()
-        report = SimulationReport(network_name=self._network.name, num_snapshots=len(series))
-        for scheme in schemes:
-            report.results[scheme] = SchemeResult(scheme=scheme)
-
-        for snapshot in series:
-            if snapshot.is_empty():
-                continue
-            optimum = min_congestion_lp(self._network, snapshot).congestion
-            for scheme in schemes:
-                utilization = self._run_scheme(scheme, snapshot, rate_method)
-                ratio = utilization / optimum if optimum > 0 else (1.0 if utilization <= 0 else float("inf"))
-                report.results[scheme].utilization_ratios.append(ratio)
-                report.results[scheme].max_utilizations.append(utilization)
-        return report
-
-    def _run_scheme(self, scheme: str, snapshot: Demand, rate_method: str) -> float:
-        if scheme == "semi-oblivious":
-            return optimal_rates(self._semi_oblivious_system, snapshot, method=rate_method).congestion
-        if scheme == "ksp":
-            return optimal_rates(self._ksp_system, snapshot, method=rate_method).congestion
-        if scheme == "oblivious":
-            return self._oblivious_routing.congestion(snapshot)
-        if scheme == "spf":
-            return self._spf_routing.congestion(snapshot)
-        if scheme == "optimal":
-            return min_congestion_lp(self._network, snapshot).congestion
-        raise SolverError(f"unknown TE scheme {scheme!r}")
+        unknown = [scheme for scheme in schemes if scheme not in self._engine]
+        if unknown:
+            raise SolverError(
+                f"unknown TE scheme(s) {unknown!r}; available: {self._engine.labels()}"
+            )
+        for label in schemes:
+            router = self._engine[label]
+            if hasattr(router, "method"):
+                router.method = rate_method
+        return self._engine.evaluate_matrix_series(series, labels=list(schemes))
 
 
 __all__ = ["TrafficEngineeringSimulator", "SchemeResult", "SimulationReport"]

@@ -1,0 +1,34 @@
+"""Strict-JSON serialization helpers.
+
+``json.dumps`` happily emits ``NaN``/``Infinity`` literals, which most
+strict parsers (``jq``, ``JSON.parse``) reject.  Utilization ratios and
+experiment tables legitimately contain non-finite floats (empty demand
+buckets, zero optima), so every JSON-producing path in the package —
+report ``to_json`` methods and the CLI ``--json`` flags — routes through
+these helpers, which map non-finite floats to ``null``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Optional
+
+
+def json_sanitize(value: Any) -> Any:
+    """Recursively replace non-finite floats with ``None``."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: json_sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_sanitize(item) for item in value]
+    return value
+
+
+def dumps(value: Any, indent: Optional[int] = 2) -> str:
+    """``json.dumps`` with non-finite cleanup and a ``str`` fallback."""
+    return json.dumps(json_sanitize(value), indent=indent, default=str)
+
+
+__all__ = ["json_sanitize", "dumps"]

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -34,3 +36,62 @@ def test_quickstart(capsys):
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_experiments_json(capsys):
+    assert main(["experiments", "--scale", "smoke", "--json", "E6_rounding"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["experiment_id"] == "E6_rounding"
+    assert "tables" in payload[0]
+
+
+def test_schemes_lists_registry(capsys):
+    assert main(["schemes"]) == 0
+    out = capsys.readouterr().out
+    for name in ("semi-oblivious", "ksp", "spf", "optimal", "racke"):
+        assert name in out
+
+
+def test_te_default_schemes(capsys):
+    assert main(["te", "--topology", "hypercube:3", "--snapshots", "2"]) == 0
+    out = capsys.readouterr().out
+    for label in ("semi-oblivious", "oblivious", "ksp", "spf", "optimal"):
+        assert label in out
+    assert "optimal MCF solve" in out
+
+
+def test_te_explicit_schemes_json(capsys):
+    assert main([
+        "te", "--topology", "hypercube:3", "--snapshots", "2", "--json",
+        "--scheme", "semi-oblivious(racke, alpha=2)", "--scheme", "spf",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload["schemes"]) == {"semi-oblivious", "spf"}
+    assert payload["optimal_mcf_solves"] == 2
+    ratios = payload["schemes"]["semi-oblivious"]["utilization_ratios"]
+    assert len(ratios) == 2 and all(r >= 1.0 - 1e-9 for r in ratios)
+
+
+def test_te_bad_scheme_spec(capsys):
+    assert main(["te", "--topology", "hypercube:3", "--scheme", "nonsense"]) == 2
+    assert "bad scheme spec" in capsys.readouterr().err
+
+
+def test_te_unknown_topology():
+    with pytest.raises(SystemExit):
+        main(["te", "--topology", "moebius:3"])
+
+
+def test_te_non_integer_topology_size():
+    with pytest.raises(SystemExit):
+        main(["te", "--topology", "hypercube:abc"])
+
+
+def test_te_bad_scheme_param(capsys):
+    assert main(["te", "--topology", "hypercube:3", "--scheme", "ksp(k=0)"]) == 2
+    assert "bad scheme spec" in capsys.readouterr().err
+
+
+def test_te_zero_snapshots(capsys):
+    assert main(["te", "--topology", "hypercube:3", "--snapshots", "0"]) == 2
+    assert "bad traffic series" in capsys.readouterr().err
