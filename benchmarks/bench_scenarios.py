@@ -1,0 +1,25 @@
+"""Benchmark the scenario-sweep subsystem (smoke grid, serial execution).
+
+Wall-clock here is dominated by the per-topology install (one Räcke
+build each) plus the per-cell rate-adaptation LPs; the multiprocessing
+fan-out is benchmarked implicitly by the determinism test comparing
+worker counts, so the benchmark itself stays single-process for a
+stable, scheduler-independent number.
+"""
+
+from conftest import run_once
+
+from repro.scenarios import get_suite, run_suite
+
+
+def test_bench_scenarios_smoke(benchmark, small_config):
+    result = run_once(benchmark, lambda _config: run_suite(get_suite("smoke"), workers=1),
+                      small_config)
+    rows = result.summary_rows()
+    assert len(rows) == 12 * 2  # 12 cells x 2 schemes
+    print()
+    print(result.render())
+    healthy = [row for row in rows if row["failure"] == "none"]
+    assert healthy and all(
+        row["mean_ratio"] is not None and row["mean_ratio"] >= 1.0 - 1e-9 for row in healthy
+    )

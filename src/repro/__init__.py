@@ -66,6 +66,15 @@ from repro.oblivious import (
     ShortestPathRouting,
     ValiantHypercubeRouting,
 )
+from repro.scenarios import (
+    DemandSpec,
+    FailureSpec,
+    ScenarioSuite,
+    SuiteResult,
+    TopologySpec,
+    get_suite,
+    run_suite,
+)
 
 __version__ = "1.1.0"
 
@@ -110,4 +119,12 @@ __all__ = [
     "ShortestPathRouting",
     "KShortestPathRouting",
     "HopConstrainedRouting",
+    # Scenario sweeps
+    "ScenarioSuite",
+    "TopologySpec",
+    "DemandSpec",
+    "FailureSpec",
+    "SuiteResult",
+    "run_suite",
+    "get_suite",
 ]

@@ -19,6 +19,19 @@ Subcommands
             --scheme "semi-oblivious(racke, alpha=4)" --scheme "ksp(k=4)" --scheme spf
         python -m repro te --topology waxman:14 --json
 
+``scenarios``
+    Declarative failure × demand × topology sweeps through the engine::
+
+        python -m repro scenarios list
+        python -m repro scenarios describe smoke
+        python -m repro scenarios run --suite smoke --workers 2 --json
+        python -m repro scenarios run --suite failures --output sweep.json
+
+    ``run`` executes every grid cell (candidate paths installed once per
+    topology, deterministic per-cell seeds) and prints the harness table
+    rendering — or, with ``--json``, the artifact itself, which is
+    bit-identical for any ``--workers`` value.
+
 ``schemes``
     List the registered scheme names and oblivious sampling sources.
 
@@ -175,6 +188,63 @@ def _cmd_te(
     return 0
 
 
+def _cmd_scenarios_list() -> int:
+    from repro.scenarios import available_suites, get_suite
+
+    for name in available_suites():
+        suite = get_suite(name)
+        print(f"{name:12s} {suite.num_cells():4d} cells  {suite.description}")
+    return 0
+
+
+def _cmd_scenarios_describe(name: str) -> int:
+    from repro.exceptions import ReproError
+    from repro.scenarios import get_suite
+
+    try:
+        suite = get_suite(name)
+    except ReproError as error:
+        print(error, file=sys.stderr)
+        return 2
+    print(suite.describe())
+    return 0
+
+
+def _cmd_scenarios_run(
+    suite_name: str,
+    workers: int,
+    seed: Optional[int],
+    snapshots: Optional[int],
+    as_json: bool,
+    output: Optional[str],
+) -> int:
+    from repro.exceptions import ReproError
+    from repro.scenarios import get_suite, run_suite
+
+    if workers < 1:
+        print("--workers must be at least 1", file=sys.stderr)
+        return 2
+    try:
+        suite = get_suite(suite_name).with_overrides(seed=seed, num_snapshots=snapshots)
+    except ReproError as error:
+        print(error, file=sys.stderr)
+        return 2
+    start = time.perf_counter()
+    result = run_suite(suite, workers=workers)
+    elapsed = time.perf_counter() - start
+    artifact = result.to_json()
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(artifact + "\n")
+        print(f"wrote {len(result.cells)}-cell artifact to {output}", file=sys.stderr)
+    if as_json:
+        print(artifact)
+    else:
+        print(result.render())
+        print(f"\n[{suite.num_cells()} cells on {workers} worker(s), {elapsed:.1f}s]")
+    return 0
+
+
 def _cmd_quickstart(dimension: int, alpha: int) -> int:
     from repro import build_router, topologies
     from repro.demands import random_permutation_demand
@@ -213,6 +283,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     te_parser.add_argument("--seed", type=int, default=0)
     te_parser.add_argument("--json", action="store_true", help="print the report as JSON")
 
+    scenario_parser = subparsers.add_parser(
+        "scenarios", help="failure x demand x topology sweeps through the engine"
+    )
+    scenario_sub = scenario_parser.add_subparsers(dest="scenario_command", required=True)
+    scenario_sub.add_parser("list", help="list the built-in scenario suites")
+    describe_parser = scenario_sub.add_parser("describe", help="show one suite's grid")
+    describe_parser.add_argument("suite", help="suite name (see 'scenarios list')")
+    run_parser = scenario_sub.add_parser("run", help="execute a suite and print its report")
+    run_parser.add_argument("--suite", default="smoke", help="suite name (default smoke)")
+    run_parser.add_argument("--workers", type=int, default=1,
+                            help="worker processes for the topology shards (default 1)")
+    run_parser.add_argument("--seed", type=int, default=None,
+                            help="override the suite's master seed")
+    run_parser.add_argument("--snapshots", type=int, default=None,
+                            help="override demand snapshots per cell")
+    run_parser.add_argument("--json", action="store_true",
+                            help="print the JSON artifact instead of tables")
+    run_parser.add_argument("--output", default=None,
+                            help="also write the JSON artifact to this path")
+
     quick_parser = subparsers.add_parser("quickstart", help="tiny end-to-end pipeline check")
     quick_parser.add_argument("--dimension", type=int, default=3)
     quick_parser.add_argument("--alpha", type=int, default=3)
@@ -226,6 +316,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiments(args.ids, args.scale, args.seed, as_json=args.json)
     if args.command == "te":
         return _cmd_te(args.topology, args.schemes, args.snapshots, args.seed, as_json=args.json)
+    if args.command == "scenarios":
+        if args.scenario_command == "list":
+            return _cmd_scenarios_list()
+        if args.scenario_command == "describe":
+            return _cmd_scenarios_describe(args.suite)
+        if args.scenario_command == "run":
+            return _cmd_scenarios_run(
+                args.suite, args.workers, args.seed, args.snapshots, args.json, args.output
+            )
+        return 2
     if args.command == "quickstart":
         return _cmd_quickstart(args.dimension, args.alpha)
     return 2

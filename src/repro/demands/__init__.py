@@ -14,7 +14,13 @@ from repro.demands.generators import (
     special_demand_from_pairs,
     cluster_demand,
 )
-from repro.demands.traffic_matrix import TrafficMatrixSeries, diurnal_gravity_series, constant_series
+from repro.demands.traffic_matrix import (
+    TrafficMatrixSeries,
+    constant_series,
+    diurnal_gravity_series,
+    gravity_series,
+    permutation_series,
+)
 
 __all__ = [
     "Demand",
@@ -32,4 +38,6 @@ __all__ = [
     "TrafficMatrixSeries",
     "diurnal_gravity_series",
     "constant_series",
+    "permutation_series",
+    "gravity_series",
 ]

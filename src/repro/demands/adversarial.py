@@ -1,6 +1,6 @@
 """Adversarial demand construction.
 
-Two adversaries:
+Three adversaries of increasing generality:
 
 * :func:`lower_bound_adversary` — the constructive Lemma 8.1 adversary.
   Given any sparse path system on the gadget ``C(n, k)``, it uses the
@@ -8,11 +8,32 @@ Two adversaries:
   permutation demand between star leaves that every routing *on the
   candidate paths* must congest by at least (matching size) / |S'|,
   while the offline integral optimum routes it with congestion 1.
+  Fully deterministic: the pigeonhole groups are resolved by the stored
+  path-system order, so equal inputs give equal demands.
 
-* :func:`random_search_adversary` — a generic randomized search over a
-  demand family that keeps the demand with the worst measured
-  competitive ratio.  Used to probe upper-bound experiments beyond the
-  structured worst cases.
+* :func:`random_search_adversary` — a randomized search over a demand
+  family that keeps the demand with the worst measured competitive
+  ratio against a *specific* path system.  Used to probe upper-bound
+  experiments beyond the structured worst cases.
+
+* :func:`spf_stress_permutation` — a path-system-free stressor for
+  scenario grids: among ``num_trials`` random permutations it returns
+  the one maximizing single-shortest-path congestion on the bare
+  network.  Cheap (no LP), and a meaningful "adversarial" workload for
+  *every* scheme because shortest-path hotspots are exactly where
+  low-diversity candidate sets hurt.
+
+Contracts
+---------
+
+Every randomized routine consumes randomness *only* through its ``rng``
+argument (an integer seed, a ``numpy.random.Generator``, or ``None``;
+see :mod:`repro.utils.rng`): two calls with identically seeded
+generators return identical demands, which is what the scenario-sweep
+determinism guarantee builds on.  All congestion figures are
+capacity-normalized utilizations — load divided by edge capacity — and
+"ratio" always means achieved utilization divided by the optimum for
+the same demand.
 """
 
 from __future__ import annotations
@@ -198,8 +219,47 @@ def random_search_adversary(
     return worst_demand, worst_ratio
 
 
+def spf_stress_permutation(
+    network,
+    num_trials: int = 8,
+    rng: RngLike = None,
+) -> Demand:
+    """The worst of ``num_trials`` random permutations under shortest-path routing.
+
+    Each candidate permutation is scored by the congestion of routing
+    every pair on one (hop-)shortest path; the highest-scoring demand is
+    returned.  No LP is solved and no candidate path system is needed,
+    so this is usable as a declarative demand *generator* inside
+    scenario grids.  Deterministic given ``rng`` (ties break toward the
+    earliest trial).
+    """
+    if num_trials < 1:
+        raise DemandError("num_trials must be at least 1")
+    from repro.demands.generators import random_permutation_demand
+
+    generator = ensure_rng(rng)
+    worst_demand: Optional[Demand] = None
+    worst_congestion = -1.0
+    for _ in range(num_trials):
+        demand = random_permutation_demand(network, rng=generator)
+        if demand.is_empty():
+            continue
+        weighted = [
+            (network.shortest_path(source, target), amount)
+            for (source, target), amount in demand.items()
+        ]
+        congestion = network.congestion(weighted)
+        if congestion > worst_congestion:
+            worst_congestion = congestion
+            worst_demand = demand
+    if worst_demand is None:
+        raise DemandError("all sampled permutations were empty")
+    return worst_demand
+
+
 __all__ = [
     "LowerBoundAdversaryResult",
     "lower_bound_adversary",
     "random_search_adversary",
+    "spf_stress_permutation",
 ]

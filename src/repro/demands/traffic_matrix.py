@@ -112,4 +112,51 @@ def constant_series(demand: Demand, num_snapshots: int) -> TrafficMatrixSeries:
     return TrafficMatrixSeries(snapshots=[demand] * num_snapshots)
 
 
-__all__ = ["TrafficMatrixSeries", "diurnal_gravity_series", "constant_series"]
+def permutation_series(
+    network: Network,
+    num_snapshots: int,
+    rng: RngLike = None,
+) -> TrafficMatrixSeries:
+    """Independent uniformly random permutation demands, one per snapshot.
+
+    The scenario-grid workload for the paper's worst-case demand class:
+    the candidate paths are installed once, while the permutation changes
+    every snapshot.  Deterministic given ``rng``.
+    """
+    if num_snapshots < 1:
+        raise DemandError("need at least one snapshot")
+    from repro.demands.generators import random_permutation_demand
+
+    generator = ensure_rng(rng)
+    snapshots = [random_permutation_demand(network, rng=generator) for _ in range(num_snapshots)]
+    return TrafficMatrixSeries(snapshots=snapshots)
+
+
+def gravity_series(
+    network: Network,
+    num_snapshots: int,
+    total: float = 10.0,
+    rng: RngLike = None,
+) -> TrafficMatrixSeries:
+    """Independent gravity-model draws (fresh vertex weights per snapshot).
+
+    Unlike :func:`diurnal_gravity_series` — which perturbs one base
+    matrix — every snapshot here resamples the heavy-tailed per-vertex
+    weights, modelling day-scale rather than minute-scale drift.
+    """
+    if num_snapshots < 1:
+        raise DemandError("need at least one snapshot")
+    generator = ensure_rng(rng)
+    snapshots = [
+        gravity_demand(network, total=total, rng=generator) for _ in range(num_snapshots)
+    ]
+    return TrafficMatrixSeries(snapshots=snapshots)
+
+
+__all__ = [
+    "TrafficMatrixSeries",
+    "diurnal_gravity_series",
+    "constant_series",
+    "permutation_series",
+    "gravity_series",
+]

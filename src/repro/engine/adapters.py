@@ -14,6 +14,32 @@ the uniform install/route shape:
   electrical, shortest-path and hop-constrained sources),
 * :class:`OptimalRouter` — the per-demand optimal MCF (ratio 1 by
   definition; the normalizer every other scheme is measured against).
+
+Contracts
+---------
+
+**Determinism.**  All randomness is consumed from the ``rng`` handed to
+the constructor (via :func:`repro.utils.rng.ensure_rng`), during
+``install()`` only — ``route()`` never draws random bits.  Two routers
+constructed with identically seeded generators therefore install
+identical candidate paths and produce identical results forever after;
+this is the property the engine's scheme-insertion-order seeding and
+the scenario sweeps' bit-identical artifacts are built on.  The
+sampling-free adapters (:class:`FixedRatioRouter` over deterministic
+sources, :class:`OptimalRouter`) ignore ``rng`` entirely.
+
+**Units.**  ``RouteResult.congestion`` is always a capacity-normalized
+*utilization*: maximum over edges of load divided by edge capacity, so
+1.0 means the busiest link runs exactly at capacity and values are
+comparable across topologies with heterogeneous capacities.
+``RouteResult.ratio`` divides that utilization by the same demand's
+optimal-MCF utilization (>= 1 up to solver tolerance; NaN when the
+optimum is unknown).
+
+**Install-once.**  ``install()`` is the only slow step and the only
+state change; calling it again re-materializes paths for the new pair
+set.  ``route()`` must be preceded by ``install()`` and raises
+:class:`~repro.exceptions.SolverError` otherwise.
 """
 
 from __future__ import annotations

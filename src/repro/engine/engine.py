@@ -275,6 +275,24 @@ class RoutingEngine:
                 report.results[label].max_utilizations.append(result.congestion)
         return report
 
+    # ------------------------------------------------------------------ #
+    # Scenario sweeps
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def run_suite(suite, workers: int = 1):
+        """Execute a :class:`~repro.scenarios.spec.ScenarioSuite` grid.
+
+        The batch entry point of the scenario-sweep subsystem: every cell
+        of the failure × demand × topology grid is routed through one
+        engine per topology (candidate paths installed once, the optimal
+        MCF memoized per snapshot), fanned out over ``workers``
+        processes.  Returns a :class:`~repro.scenarios.report.SuiteResult`
+        whose JSON artifact is bit-identical for any worker count.
+        """
+        from repro.scenarios.runner import run_suite as _run_suite
+
+        return _run_suite(suite, workers=workers)
+
     def __repr__(self) -> str:
         return (
             f"RoutingEngine(network={self._network.name!r}, schemes={self.labels()}, "

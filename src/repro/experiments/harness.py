@@ -106,6 +106,39 @@ class ExperimentResult:
         return self.render()
 
 
+def experiment_result_from_scenario(payload: Dict[str, Any]) -> ExperimentResult:
+    """Ingest a scenario-sweep JSON artifact as an :class:`ExperimentResult`.
+
+    ``payload`` is the dict form of a scenario artifact (what
+    ``SuiteResult.to_dict()`` emits / ``json.loads`` of the CLI output).
+    The per-cell grid and the per-scheme aggregate land in two tables
+    (``scenario_grid`` and ``scenario_schemes``) so sweeps render and
+    serialize exactly like the E1–E12 experiments.
+    """
+    from repro.scenarios.report import SuiteResult
+
+    suite_result = SuiteResult.from_dict(payload)
+    suite = suite_result.suite
+    result = ExperimentResult(experiment_id=f"scenarios:{suite.name}")
+    for row in suite_result.summary_rows():
+        result.add_row("scenario_grid", **row)
+    for row in suite_result.scheme_summary():
+        result.add_row("scenario_schemes", **row)
+    disconnected = sum(1 for cell in suite_result.cells if cell.get("disconnected"))
+    result.add_note(
+        f"suite {suite.name!r}: {suite.num_cells()} cells "
+        f"({len(suite.topologies)} topologies x {len(suite.demands)} demands x "
+        f"{len(suite.failures)} failures), {suite.num_snapshots} snapshot(s) per cell, "
+        f"seed={suite.seed}"
+    )
+    if disconnected:
+        result.add_note(
+            f"{disconnected} cell(s) disconnected the network; their congestion is null "
+            "and only coverage is meaningful"
+        )
+    return result
+
+
 def run_experiment(
     runner: Callable[[ExperimentConfig], ExperimentResult],
     config: Optional[ExperimentConfig] = None,
@@ -120,4 +153,9 @@ def run_experiment(
     return result
 
 
-__all__ = ["ExperimentConfig", "ExperimentResult", "run_experiment"]
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "experiment_result_from_scenario",
+]

@@ -1,0 +1,308 @@
+"""Scenario-suite execution: install once per topology, fan cells out.
+
+The runner realizes the SMORE-style sweep loop on top of the
+:class:`~repro.engine.engine.RoutingEngine` facade.  Work is sharded by
+*topology*: each shard builds its network, constructs one engine (one
+oblivious-routing build, one :class:`CutCache`, one memoized optimal-MCF
+solver), installs candidate paths once, and then evaluates every grid
+cell of that topology.  Shards are independent, so they run either
+inline (``workers=1``) or on a ``multiprocessing`` pool — and because
+every random draw is keyed off ``(suite.seed, stream, index)`` via
+:class:`numpy.random.SeedSequence`, both modes produce **bit-identical**
+artifacts (rows are reassembled in canonical cell order, never in worker
+completion order).
+
+Cell semantics
+--------------
+
+Per cell, per snapshot, per scheme:
+
+* **healthy cells** route through ``engine.route`` — the per-snapshot
+  optimal MCF is solved once and shared across schemes;
+* **failure cells** degrade the network (:func:`apply_failure`), rebase
+  each scheme's installed candidate paths onto the degraded network, and
+  re-optimize only the sending rates — forwarding state is never
+  recomputed, which is precisely the semi-oblivious robustness story.
+  Fixed-ratio schemes renormalize each pair's surviving path
+  distribution; the ``optimal`` scheme re-solves the MCF on the degraded
+  network (it is the fair post-failure baseline).  A scheme that loses
+  every candidate path for some demanded pair gets infinite congestion
+  and a coverage below 1.  Cells whose failure disconnects the network
+  report null congestion and keep only coverage.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.rate_adaptation import optimal_rates
+from repro.demands.demand import Demand
+from repro.engine.adapters import FixedRatioRouter, OptimalRouter
+from repro.engine.engine import RoutingEngine
+from repro.engine.router import RouteResult
+from repro.graphs.network import Network, edge_key
+from repro.mcf.lp import min_congestion_lp
+from repro.te.failures import apply_failure, rebase_system, rebase_without_network
+
+from repro.scenarios.spec import ScenarioCell, ScenarioSuite
+from repro.scenarios.report import SuiteResult
+
+#: SeedSequence stream tags: (suite.seed, _STREAM_*, index) -> generator.
+_STREAM_TOPOLOGY = 0
+_STREAM_ENGINE = 1
+_STREAM_DEMAND = 2
+_STREAM_FAILURE = 3
+
+
+def _derived_rng(seed: int, stream: int, index: int) -> np.random.Generator:
+    """The canonical per-(stream, index) generator of a suite."""
+    return np.random.default_rng(np.random.SeedSequence([int(seed), stream, index]))
+
+
+# --------------------------------------------------------------------- #
+# Per-scheme evaluation under failure
+# --------------------------------------------------------------------- #
+def _coverage(surviving_paths: Dict[Tuple, List], demand: Demand) -> float:
+    pairs = demand.pairs()
+    if not pairs:
+        return 1.0
+    return sum(1 for pair in pairs if surviving_paths.get(pair)) / len(pairs)
+
+
+def _disconnected_coverage(router: Any, event, demand: Demand) -> float:
+    """Surviving-candidate coverage when the event disconnects the network.
+
+    Congestion is undefined here, but coverage is still derivable from
+    the installed forwarding state: candidate paths for system-backed
+    routers, split distributions for fixed-ratio routers.  The optimal
+    MCF has no installed state, so its coverage is NaN.
+    """
+    system = getattr(router, "system", None)
+    if system is not None:
+        return _coverage(rebase_without_network(system, event), demand)
+    if isinstance(router, FixedRatioRouter):
+        banned = {edge_key(u, v) for u, v in event.failed_edges}
+        pairs = demand.pairs()
+        if not pairs:
+            return 1.0
+        covered = 0
+        for source, target in pairs:
+            if not router.routing.covers(source, target):
+                continue
+            for path in router.routing.distribution(source, target):
+                if all(edge_key(u, v) not in banned for u, v in zip(path, path[1:])):
+                    covered += 1
+                    break
+        return covered / len(pairs)
+    return float("nan")
+
+
+def _route_fixed_ratio_degraded(
+    router: FixedRatioRouter, demand: Demand, degraded: Network
+) -> Tuple[Optional[float], float]:
+    """Renormalize surviving split ratios per pair; (congestion, coverage)."""
+    weighted: List[Tuple[Sequence, float]] = []
+    pairs = demand.pairs()
+    covered = 0
+    for source, target in pairs:
+        if not router.routing.covers(source, target):
+            continue
+        distribution = router.routing.distribution(source, target)
+        surviving = {
+            path: probability
+            for path, probability in distribution.items()
+            if all(degraded.has_edge(u, v) for u, v in zip(path, path[1:]))
+        }
+        if not surviving:
+            continue
+        covered += 1
+        total = sum(surviving.values())
+        amount = demand.value(source, target)
+        for path, probability in surviving.items():
+            weighted.append((path, amount * probability / total))
+    coverage = covered / len(pairs) if pairs else 1.0
+    if pairs and covered < len(pairs):
+        return None, coverage
+    return degraded.congestion(weighted), coverage
+
+
+def _route_under_failure(
+    router: Any,
+    label: str,
+    demand: Demand,
+    degraded: Network,
+    optimum: float,
+) -> Tuple[RouteResult, float]:
+    """One scheme's post-failure result: re-adapt rates, never re-install."""
+    if isinstance(router, OptimalRouter):
+        return (
+            RouteResult(scheme=label, congestion=optimum, optimal_congestion=optimum, method="mcf"),
+            1.0,
+        )
+    if isinstance(router, FixedRatioRouter):
+        congestion, coverage = _route_fixed_ratio_degraded(router, demand, degraded)
+        result = RouteResult(
+            scheme=label,
+            congestion=float("inf") if congestion is None else congestion,
+            optimal_congestion=optimum,
+            method="fixed",
+        )
+        return result, coverage
+    system = getattr(router, "system", None)
+    if system is None:
+        # Custom router without an inspectable path system: we cannot
+        # simulate its failure response; report unsupported explicitly.
+        result = RouteResult(
+            scheme=label,
+            congestion=float("nan"),
+            optimal_congestion=optimum,
+            method="unsupported-under-failure",
+        )
+        return result, float("nan")
+    survivors = rebase_system(system, degraded)
+    pairs = demand.pairs()
+    coverage = (
+        sum(1 for pair in pairs if survivors.paths(*pair)) / len(pairs) if pairs else 1.0
+    )
+    if pairs and not survivors.covers(pairs):
+        result = RouteResult(
+            scheme=label,
+            congestion=float("inf"),
+            optimal_congestion=optimum,
+            method=getattr(router, "method", "lp"),
+        )
+        return result, coverage
+    adaptation = optimal_rates(survivors, demand, method=getattr(router, "method", "lp"))
+    result = RouteResult(
+        scheme=label,
+        congestion=adaptation.congestion,
+        optimal_congestion=optimum,
+        method=adaptation.method,
+    )
+    return result, coverage
+
+
+# --------------------------------------------------------------------- #
+# Cell evaluation
+# --------------------------------------------------------------------- #
+def _evaluate_cell(
+    suite: ScenarioSuite,
+    cell: ScenarioCell,
+    network: Network,
+    engine: RoutingEngine,
+) -> Dict[str, Any]:
+    topology_spec = suite.topologies[cell.topology_index]
+    demand_spec = suite.demands[cell.demand_index]
+    failure_spec = suite.failures[cell.failure_index]
+
+    # Demands are seeded per (topology, demand) pair — NOT per cell — so
+    # every failure cell replays exactly the traffic of its healthy
+    # baseline and ratio differences along the failure axis measure the
+    # failure, not demand resampling.  Failure events are per cell.
+    demand_stream = cell.topology_index * len(suite.demands) + cell.demand_index
+    series = demand_spec.series(
+        network, suite.num_snapshots, _derived_rng(suite.seed, _STREAM_DEMAND, demand_stream)
+    )
+    event = failure_spec.process().sample(
+        network, _derived_rng(suite.seed, _STREAM_FAILURE, cell.index)
+    )
+
+    payload: Dict[str, Any] = {
+        "cell": cell.index,
+        "topology": {"index": cell.topology_index, "spec": topology_spec.describe(),
+                     "name": network.name, "n": network.num_vertices, "m": network.num_edges},
+        "demand": {"index": cell.demand_index, "spec": demand_spec.describe()},
+        "failure": {"index": cell.failure_index, "spec": failure_spec.describe(),
+                    "event": event.to_dict()},
+        "disconnected": False,
+        "rows": [],
+    }
+
+    degraded = apply_failure(network, event)
+    if degraded is None:
+        payload["disconnected"] = True
+        for snapshot_index, snapshot in enumerate(series):
+            for label in engine.labels():
+                coverage = _disconnected_coverage(engine[label], event, snapshot)
+                row = RouteResult(scheme=label, congestion=float("nan")).to_dict()
+                row.update(snapshot=snapshot_index, coverage=coverage)
+                payload["rows"].append(row)
+        return payload
+
+    healthy = event.is_null()
+    for snapshot_index, snapshot in enumerate(series):
+        if snapshot.is_empty():
+            continue
+        if healthy:
+            results = engine.route(snapshot)
+            for label in engine.labels():
+                row = results[label].to_dict()
+                row.update(snapshot=snapshot_index, coverage=1.0)
+                payload["rows"].append(row)
+        else:
+            optimum = min_congestion_lp(degraded, snapshot).congestion
+            for label in engine.labels():
+                result, coverage = _route_under_failure(
+                    engine[label], label, snapshot, degraded, optimum
+                )
+                row = result.to_dict()
+                row.update(snapshot=snapshot_index, coverage=coverage)
+                payload["rows"].append(row)
+    return payload
+
+
+# --------------------------------------------------------------------- #
+# Topology shards
+# --------------------------------------------------------------------- #
+def _run_topology_shard(task: Tuple[Dict[str, Any], int]) -> List[Dict[str, Any]]:
+    """Worker entry point: evaluate every cell of one topology.
+
+    ``task`` is ``(suite.to_dict(), topology_index)`` — plain JSON types,
+    so the function is picklable under any multiprocessing start method
+    and the worker rebuilds exactly the state the spec declares.
+    """
+    suite_payload, topology_index = task
+    suite = ScenarioSuite.from_dict(suite_payload)
+    topology_spec = suite.topologies[topology_index]
+    network = topology_spec.build(_derived_rng(suite.seed, _STREAM_TOPOLOGY, topology_index))
+    engine = RoutingEngine(
+        network, list(suite.schemes), rng=_derived_rng(suite.seed, _STREAM_ENGINE, topology_index)
+    )
+    engine.install()
+    cells = [cell for cell in suite.cells() if cell.topology_index == topology_index]
+    return [_evaluate_cell(suite, cell, network, engine) for cell in cells]
+
+
+def run_suite(
+    suite: ScenarioSuite,
+    workers: int = 1,
+) -> SuiteResult:
+    """Execute every cell of ``suite``; deterministic for any ``workers``.
+
+    ``workers=1`` runs the topology shards inline; ``workers>1`` fans
+    them out on a spawn-context ``multiprocessing`` pool (capped at the
+    number of shards).  The returned :class:`SuiteResult` is identical —
+    bit for bit — in both modes.
+    """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    suite_payload = suite.to_dict()
+    tasks = [(suite_payload, topology_index) for topology_index in range(len(suite.topologies))]
+    if workers == 1 or len(tasks) == 1:
+        shard_results = [_run_topology_shard(task) for task in tasks]
+    else:
+        pool_size = min(workers, len(tasks), os.cpu_count() or 1)
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(processes=pool_size) as pool:
+            shard_results = pool.map(_run_topology_shard, tasks)
+    cells = sorted(
+        (cell for shard in shard_results for cell in shard), key=lambda cell: cell["cell"]
+    )
+    return SuiteResult(suite=suite, cells=cells)
+
+
+__all__ = ["run_suite"]

@@ -7,6 +7,7 @@ benchmarks and the example scripts share.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterable, List, Sequence
 
@@ -17,6 +18,8 @@ def format_float(value: float, precision: int = 3) -> str:
         return "-"
     if isinstance(value, str):
         return value
+    if isinstance(value, float) and not math.isfinite(value):
+        return str(value)  # "inf", "-inf", "nan"
     if abs(value - round(value)) < 1e-9 and abs(value) < 1e12:
         return str(int(round(value)))
     if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):

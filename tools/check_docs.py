@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Documentation checker: execute fenced Python snippets, verify links.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py [files...]
+
+With no arguments, checks the default documentation set (README.md,
+EXPERIMENTS.md, docs/ARCHITECTURE.md).  Two checks per file:
+
+1. **Snippets.**  Every ` ```python ` fenced block is executed, blocks
+   of one file sharing a single namespace in order (so a quickstart can
+   build on earlier blocks).  A block immediately preceded (within two
+   lines) by the marker ``<!-- docs:no-run -->`` is parsed with
+   :func:`compile` for syntax but not executed.  ``bash``/``text``
+   fences are ignored.
+
+2. **Links.**  Every intra-repository markdown link target
+   (``[text](path)`` where path is not ``http(s)://``, ``mailto:`` or a
+   bare ``#anchor``) must exist relative to the file's directory.
+
+Exit status 0 when everything passes; 1 with a per-failure report
+otherwise.  No third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import traceback
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_FILES = ["README.md", "EXPERIMENTS.md", "docs/ARCHITECTURE.md"]
+
+NO_RUN_MARKER = "<!-- docs:no-run -->"
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def extract_blocks(text: str) -> List[Tuple[int, str, str, bool]]:
+    """Return (start_line, language, code, no_run) for each fenced block."""
+    blocks = []
+    lines = text.splitlines()
+    in_block = False
+    language = ""
+    start = 0
+    buffer: List[str] = []
+    for number, line in enumerate(lines, start=1):
+        match = FENCE_RE.match(line.strip())
+        if match and not in_block:
+            in_block = True
+            language = match.group(1).lower()
+            start = number
+            buffer = []
+        elif line.strip() == "```" and in_block:
+            in_block = False
+            lookback = lines[max(0, start - 3) : start - 1]
+            no_run = any(NO_RUN_MARKER in previous for previous in lookback)
+            blocks.append((start, language, "\n".join(buffer), no_run))
+        elif in_block:
+            buffer.append(line)
+    return blocks
+
+
+def check_snippets(path: Path, text: str, failures: List[str]) -> int:
+    namespace: dict = {"__name__": f"docs_snippet_{path.stem}"}
+    executed = 0
+    for start, language, code, no_run in extract_blocks(text):
+        if language != "python":
+            continue
+        label = f"{path}:{start}"
+        try:
+            compiled = compile(code, label, "exec")
+        except SyntaxError:
+            failures.append(f"{label}: python block does not parse\n{traceback.format_exc()}")
+            continue
+        if no_run:
+            continue
+        try:
+            exec(compiled, namespace)  # noqa: S102 - executing our own docs is the point
+            executed += 1
+        except Exception:
+            failures.append(f"{label}: python block raised\n{traceback.format_exc()}")
+    return executed
+
+
+def check_links(path: Path, text: str, failures: List[str]) -> int:
+    checked = 0
+    in_fence = False
+    for number, line in enumerate(text.splitlines(), start=1):
+        if FENCE_RE.match(line.strip()) or line.strip() == "```":
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            checked += 1
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                failures.append(f"{path}:{number}: broken intra-repo link -> {target}")
+    return checked
+
+
+def main(argv: List[str]) -> int:
+    names = argv or DEFAULT_FILES
+    failures: List[str] = []
+    for name in names:
+        path = (REPO_ROOT / name).resolve()
+        if not path.exists():
+            failures.append(f"{name}: documentation file is missing")
+            continue
+        text = path.read_text(encoding="utf-8")
+        executed = check_snippets(path, text, failures)
+        links = check_links(path, text, failures)
+        print(f"{name}: {executed} snippet(s) executed, {links} intra-repo link(s) checked")
+    if failures:
+        print(f"\n{len(failures)} documentation failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("docs OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
