@@ -1,0 +1,31 @@
+"""Benchmark the compiled evaluation backend against the dict reference.
+
+Wraps the ``repro bench`` targets at smoke scale so that
+``pytest benchmarks/ --benchmark-only`` exercises the same code path the
+CLI artifact flow uses; the committed full-scale baselines
+(``BENCH_linalg.json``, ``BENCH_rebase.json`` at the repo root) are
+produced by ``python -m repro bench --scale full``.
+"""
+
+from conftest import run_once
+
+from repro.linalg.bench import bench_linalg, bench_rebase
+
+
+def test_bench_linalg_smoke(benchmark, small_config):
+    payload = run_once(benchmark, lambda _config: bench_linalg(scale="smoke", seed=0),
+                       small_config)
+    assert payload["schema"] == "repro-bench/v1"
+    assert payload["max_abs_difference"] <= 1e-9
+    print()
+    print(f"dict:   {payload['backends']['dict']['demands_per_sec']:.0f} demands/s")
+    print(f"sparse: {payload['backends']['sparse']['demands_per_sec']:.0f} demands/s "
+          f"({payload['speedup_sparse_over_dict']:.1f}x)")
+
+
+def test_bench_rebase_smoke(benchmark, small_config):
+    payload = run_once(benchmark, lambda _config: bench_rebase(scale="smoke", seed=0),
+                       small_config)
+    assert payload["schema"] == "repro-bench/v1"
+    assert payload["max_abs_difference"] <= 1e-9
+    assert payload["finiteness_mismatches"] == 0

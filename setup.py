@@ -15,9 +15,18 @@ setup(
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.10",
+    # Core stays numpy-only: the compiled evaluation backend
+    # (repro.linalg) falls back to dense numpy operators without scipy,
+    # and the LP solvers raise a clear SolverError pointing at the extra.
     install_requires=[
         "numpy",
-        "scipy",
         "networkx",
     ],
+    extras_require={
+        # scipy CSR matrices for the sparse evaluation backend
+        "sparse": ["scipy"],
+        # scipy.optimize.linprog (HiGHS) for the exact MCF / rate LPs
+        "lp": ["scipy"],
+        "full": ["scipy"],
+    },
 )

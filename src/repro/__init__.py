@@ -57,6 +57,7 @@ from repro.engine import (
 )
 from repro.graphs import Network
 from repro.graphs import topologies
+from repro.linalg import CompiledRouting, available_backends, build_evaluator
 from repro.mcf import min_congestion_lp, min_congestion_on_paths
 from repro.oblivious import (
     ElectricalFlowRouting,
@@ -119,6 +120,10 @@ __all__ = [
     "ShortestPathRouting",
     "KShortestPathRouting",
     "HopConstrainedRouting",
+    # Compiled evaluation backends
+    "CompiledRouting",
+    "available_backends",
+    "build_evaluator",
     # Scenario sweeps
     "ScenarioSuite",
     "TopologySpec",

@@ -32,6 +32,15 @@ Subcommands
     rendering — or, with ``--json``, the artifact itself, which is
     bit-identical for any ``--workers`` value.
 
+``bench``
+    Run registered benchmark targets and write schema-stable
+    ``BENCH_<name>.json`` artifacts comparing the ``dict`` and
+    ``sparse`` evaluation backends::
+
+        python -m repro bench list
+        python -m repro bench linalg --scale smoke
+        python -m repro bench --scale full --output-dir .
+
 ``schemes``
     List the registered scheme names and oblivious sampling sources.
 
@@ -149,6 +158,7 @@ def _cmd_te(
     snapshots: int,
     seed: int,
     as_json: bool,
+    backend: Optional[str] = None,
 ) -> int:
     from repro.demands.traffic_matrix import diurnal_gravity_series
     from repro.engine import RoutingEngine
@@ -161,7 +171,7 @@ def _cmd_te(
         print(f"bad traffic series: {error}", file=sys.stderr)
         return 2
     try:
-        engine = RoutingEngine(network, schemes or _DEFAULT_TE_SCHEMES, rng=seed)
+        engine = RoutingEngine(network, schemes or _DEFAULT_TE_SCHEMES, rng=seed, backend=backend)
     except ReproError as error:
         print(f"bad scheme spec: {error}", file=sys.stderr)
         return 2
@@ -217,6 +227,7 @@ def _cmd_scenarios_run(
     snapshots: Optional[int],
     as_json: bool,
     output: Optional[str],
+    backend: str = "dict",
 ) -> int:
     from repro.exceptions import ReproError
     from repro.scenarios import get_suite, run_suite
@@ -230,7 +241,7 @@ def _cmd_scenarios_run(
         print(error, file=sys.stderr)
         return 2
     start = time.perf_counter()
-    result = run_suite(suite, workers=workers)
+    result = run_suite(suite, workers=workers, backend=backend)
     elapsed = time.perf_counter() - start
     artifact = result.to_json()
     if output:
@@ -242,6 +253,55 @@ def _cmd_scenarios_run(
     else:
         print(result.render())
         print(f"\n[{suite.num_cells()} cells on {workers} worker(s), {elapsed:.1f}s]")
+    return 0
+
+
+def _cmd_bench_list() -> int:
+    from repro.linalg.bench import BENCH_TARGETS
+
+    for name in sorted(BENCH_TARGETS):
+        _, description = BENCH_TARGETS[name]
+        print(f"{name:12s} {description}")
+    return 0
+
+
+def _cmd_bench(
+    names: List[str],
+    scale: str,
+    seed: int,
+    output_dir: str,
+    as_json: bool,
+) -> int:
+    from repro.exceptions import ReproError
+    from repro.linalg.bench import available_benches, run_bench, write_bench_artifact
+
+    chosen = names or available_benches()
+    unknown = [name for name in chosen if name not in available_benches()]
+    if unknown:
+        print(f"unknown bench target(s): {unknown}; available: {available_benches()}",
+              file=sys.stderr)
+        return 2
+    payloads = []
+    for name in chosen:
+        try:
+            payload = run_bench(name, scale=scale, seed=seed)
+        except ReproError as error:
+            print(f"bench {name!r} failed: {error}", file=sys.stderr)
+            return 1
+        path = write_bench_artifact(payload, output_dir=output_dir)
+        payloads.append(payload)
+        if not as_json:
+            dict_backend = payload["backends"]["dict"]
+            fast_backend = payload["backends"]["sparse"]
+            speedup = payload.get("speedup_sparse_over_dict")
+            print(f"{name}: n={payload['network']['n']} m={payload['network']['m']} "
+                  f"dict={dict_backend['seconds']:.3f}s "
+                  f"sparse={fast_backend['seconds']:.4f}s "
+                  f"speedup={speedup:.1f}x "
+                  f"max|diff|={payload['max_abs_difference']:.2e}")
+            print(f"  wrote {path}", file=sys.stderr)
+    if as_json:
+        print(json_dumps(payloads))
     return 0
 
 
@@ -282,6 +342,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     te_parser.add_argument("--snapshots", type=int, default=4)
     te_parser.add_argument("--seed", type=int, default=0)
     te_parser.add_argument("--json", action="store_true", help="print the report as JSON")
+    from repro.linalg.evaluator import BACKEND_CHOICES
+
+    te_parser.add_argument("--backend", choices=BACKEND_CHOICES, default=None,
+                           help="evaluation backend for fixed-ratio schemes (default: per-scheme)")
 
     scenario_parser = subparsers.add_parser(
         "scenarios", help="failure x demand x topology sweeps through the engine"
@@ -302,6 +366,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                             help="print the JSON artifact instead of tables")
     run_parser.add_argument("--output", default=None,
                             help="also write the JSON artifact to this path")
+    run_parser.add_argument("--backend", choices=BACKEND_CHOICES,
+                            default="dict",
+                            help="evaluation backend for fixed-ratio schemes "
+                                 "(dict reproduces reference artifacts bit for bit)")
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="run benchmark targets and write BENCH_<name>.json artifacts"
+    )
+    bench_parser.add_argument("names", nargs="*",
+                              help="bench targets ('list' to enumerate; default: all)")
+    bench_parser.add_argument("--scale", choices=("smoke", "small", "full"), default="small")
+    bench_parser.add_argument("--seed", type=int, default=0)
+    bench_parser.add_argument("--output-dir", default=".",
+                              help="directory for BENCH_<name>.json artifacts (default: .)")
+    bench_parser.add_argument("--json", action="store_true",
+                              help="print the artifact payloads as JSON")
 
     quick_parser = subparsers.add_parser("quickstart", help="tiny end-to-end pipeline check")
     quick_parser.add_argument("--dimension", type=int, default=3)
@@ -315,7 +395,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "experiments":
         return _cmd_experiments(args.ids, args.scale, args.seed, as_json=args.json)
     if args.command == "te":
-        return _cmd_te(args.topology, args.schemes, args.snapshots, args.seed, as_json=args.json)
+        return _cmd_te(args.topology, args.schemes, args.snapshots, args.seed,
+                       as_json=args.json, backend=args.backend)
     if args.command == "scenarios":
         if args.scenario_command == "list":
             return _cmd_scenarios_list()
@@ -323,9 +404,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_scenarios_describe(args.suite)
         if args.scenario_command == "run":
             return _cmd_scenarios_run(
-                args.suite, args.workers, args.seed, args.snapshots, args.json, args.output
+                args.suite, args.workers, args.seed, args.snapshots, args.json, args.output,
+                backend=args.backend,
             )
         return 2
+    if args.command == "bench":
+        if args.names == ["list"]:
+            return _cmd_bench_list()
+        return _cmd_bench(args.names, args.scale, args.seed, args.output_dir, as_json=args.json)
     if args.command == "quickstart":
         return _cmd_quickstart(args.dimension, args.alpha)
     return 2

@@ -48,6 +48,10 @@ class Routing:
     ) -> None:
         self._network = network
         self._distributions: Dict[Pair, Dict[Path, float]] = {}
+        self._evaluators: Dict[str, object] = {}
+        #: Bumped on every mutation; evaluators snapshot it to detect
+        #: staleness (standalone instances outlive the cache clear below).
+        self._version = 0
         if distributions:
             for (source, target), distribution in distributions.items():
                 self.set_distribution(source, target, distribution)
@@ -87,6 +91,8 @@ class Routing:
         self._distributions[(source, target)] = {
             path: probability / total for path, probability in cleaned.items()
         }
+        self._version += 1
+        self._evaluators.clear()  # compiled/memoized state is now stale
 
     @classmethod
     def single_path(cls, network: Network, paths: Mapping[Pair, Sequence[Vertex]]) -> "Routing":
@@ -146,28 +152,42 @@ class Routing:
                 weighted.append((path, amount * probability))
         return weighted
 
+    def evaluator(self, backend: str = "dict"):
+        """The cached evaluation backend for this routing.
+
+        ``backend`` is ``"dict"`` (reference loops with a shared
+        per-demand memo), ``"sparse"`` (compiled scipy-CSR matmuls, with
+        a dense numpy fallback), ``"dense"`` (pure numpy), or ``"auto"``
+        (the fastest compiled form available).  Evaluators are cached
+        per backend and invalidated when a distribution changes, so a
+        (routing, demand) pair is evaluated once however many metrics
+        ask for it.  See :mod:`repro.linalg`.
+        """
+        if backend != "dict":
+            # "auto"/"sparse"/"dense" can resolve to the same compiled
+            # form; cache under the resolved name to compile only once.
+            from repro.linalg._matrix import resolve_representation
+
+            backend = resolve_representation(backend)
+        evaluator = self._evaluators.get(backend)
+        if evaluator is None:
+            from repro.linalg.evaluator import build_evaluator
+
+            evaluator = build_evaluator(self, backend)
+            self._evaluators[backend] = evaluator
+        return evaluator
+
     def edge_congestions(self, demand: Demand) -> Dict[Tuple[Vertex, Vertex], float]:
         """Per-edge congestion ``cong(R, d, e)`` (load / capacity)."""
-        loads = self._network.edge_loads(self.weighted_paths(demand))
-        return {
-            edge: load / self._network.capacity_of(edge) for edge, load in loads.items()
-        }
+        return self.evaluator().edge_congestions(demand)
 
     def congestion(self, demand: Demand) -> float:
         """``cong(R, d)`` — the maximum edge congestion."""
-        congestions = self.edge_congestions(demand)
-        return max(congestions.values(), default=0.0)
+        return self.evaluator().congestion(demand)
 
     def dilation(self, demand: Demand) -> int:
         """``dil(R, d)`` — maximum hop length among paths used for ``demand``."""
-        longest = 0
-        for (source, target), amount in demand.items():
-            if amount <= 0:
-                continue
-            for path, probability in self.distribution(source, target).items():
-                if probability > 0:
-                    longest = max(longest, len(path) - 1)
-        return longest
+        return self.evaluator().dilation(demand)
 
     def max_dilation(self) -> int:
         """Maximum hop length over all paths in the routing's support."""
@@ -263,8 +283,10 @@ def path_usage_counts(routing: Routing, demand: Demand) -> Dict[Tuple[Vertex, Ve
 
     Unlike :meth:`Routing.edge_congestions` this returns raw loads, not
     capacity-normalized congestion; useful for utilization reporting.
+    Shares the routing's memoized evaluation, so calling it alongside
+    :meth:`Routing.congestion` does not redo the path walk.
     """
-    return routing.network.edge_loads(routing.weighted_paths(demand))
+    return routing.evaluator().edge_loads(demand)
 
 
 __all__ = ["Routing", "path_usage_counts", "Pair"]

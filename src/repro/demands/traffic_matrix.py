@@ -50,6 +50,16 @@ class TrafficMatrixSeries:
             raise DemandError("empty traffic matrix series")
         return max(self.snapshots, key=lambda snapshot: snapshot.size())
 
+    def as_matrix(self, pair_index, size=None, missing: str = "error"):
+        """Dense (snapshot × pair) demand matrix over an external indexing.
+
+        One row per snapshot, columns following ``pair_index`` — the
+        batch input of the compiled evaluation backend
+        (:mod:`repro.linalg`): edge loads for the whole series are then
+        a single matmul against the compiled pair × edge operator.
+        """
+        return Demand.stack(self.snapshots, pair_index, size=size, missing=missing)
+
 
 def diurnal_gravity_series(
     network: Network,

@@ -247,12 +247,26 @@ class FixedRatioRouter(BaseRouter):
     No online adaptation: the congestion of a demand is read off the
     fixed path distributions.  Covers the plain-oblivious and
     single-shortest-path TE baselines.
+
+    ``backend`` selects the evaluation backend used to read congestion
+    off the fixed distributions: ``"dict"`` (reference loops, default),
+    ``"sparse"``/``"dense"``/``"auto"`` (compiled linear algebra — the
+    fast path when many demands stream through the same routing).  It
+    may be reassigned between routes; the compiled forms are cached on
+    the routing itself.
     """
 
-    def __init__(self, network: Network, builder: ObliviousRoutingBuilder, name: str = "oblivious") -> None:
+    def __init__(
+        self,
+        network: Network,
+        builder: ObliviousRoutingBuilder,
+        name: str = "oblivious",
+        backend: str = "dict",
+    ) -> None:
         super().__init__(network, name)
         self._builder = builder
         self._routing: Optional[Routing] = None
+        self.backend = backend
 
     @property
     def builder(self) -> ObliviousRoutingBuilder:
@@ -275,7 +289,7 @@ class FixedRatioRouter(BaseRouter):
                 )
         return RouteResult(
             scheme=self.name,
-            congestion=self._routing.congestion(demand),
+            congestion=self._routing.evaluator(self.backend).congestion(demand),
             routing=self._routing,
             method="fixed",
         )

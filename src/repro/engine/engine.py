@@ -29,7 +29,13 @@ from repro.graphs.network import Network
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.serialization import dumps as _json_dumps
 
-from repro.engine.registry import EngineContext, SchemeError, SchemeSpec, build_router
+from repro.engine.registry import (
+    EngineContext,
+    SchemeError,
+    SchemeSpec,
+    build_router,
+    parse_spec,
+)
 from repro.engine.router import Pair, RouteResult, Router
 
 
@@ -95,6 +101,16 @@ class SimulationReport:
 SpecLike = Union[str, Mapping[str, Any], SchemeSpec, Router]
 
 
+def _spec_sets_backend(spec: SpecLike) -> bool:
+    """True when a scheme spec pins its evaluation backend explicitly."""
+    if not isinstance(spec, (str, Mapping, SchemeSpec)):
+        return False
+    try:
+        return "backend" in dict(parse_spec(spec).params)
+    except SchemeError:
+        return False
+
+
 class RoutingEngine:
     """Batch facade routing many demands through many registry-built schemes.
 
@@ -112,6 +128,12 @@ class RoutingEngine:
         engines built with the same seed and schemes are identical).
     cut_cache:
         Optional pre-warmed min-cut oracle to share.
+    backend:
+        Evaluation backend applied to every scheme that exposes one
+        (``"dict"`` reference loops, ``"sparse"``/``"dense"`` compiled
+        linear algebra, ``"auto"``).  ``None`` keeps each scheme's own
+        default.  Schemes without a pluggable evaluator (LP-based rate
+        adaptation) are unaffected.  See :mod:`repro.linalg`.
     """
 
     def __init__(
@@ -120,6 +142,7 @@ class RoutingEngine:
         schemes: Union[Sequence[SpecLike], Mapping[str, SpecLike]] = (),
         rng: RngLike = None,
         cut_cache: Optional[CutCache] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self._network = network
         self._rng = ensure_rng(rng)
@@ -127,6 +150,7 @@ class RoutingEngine:
         self._routers: Dict[str, Router] = {}
         self._pairs: Optional[List[Pair]] = None
         self._installed = False
+        self._backend = backend
         if isinstance(schemes, Mapping):
             for label, spec in schemes.items():
                 self.add_scheme(spec, label=label)
@@ -144,6 +168,11 @@ class RoutingEngine:
     @property
     def context(self) -> EngineContext:
         return self._context
+
+    @property
+    def backend(self) -> Optional[str]:
+        """Engine-wide evaluation backend (``None`` = per-scheme defaults)."""
+        return self._backend
 
     @property
     def routers(self) -> Dict[str, Router]:
@@ -168,6 +197,16 @@ class RoutingEngine:
         :meth:`install` are installed immediately on the same pairs.
         """
         router = build_router(spec, self._network, rng=self._rng, context=self._context)
+        if (
+            self._backend is not None
+            and isinstance(spec, (str, Mapping, SchemeSpec))
+            and hasattr(router, "backend")
+            and not _spec_sets_backend(spec)
+        ):
+            # The engine-wide default applies only where the spec did not
+            # pin a backend: the more specific setting wins, and pre-built
+            # Router instances (the most specific form) are never touched.
+            router.backend = self._backend
         label = label if label is not None else router.name
         if label in self._routers:
             raise SchemeError(f"engine already has a scheme labelled {label!r}")
@@ -279,7 +318,7 @@ class RoutingEngine:
     # Scenario sweeps
     # ------------------------------------------------------------------ #
     @staticmethod
-    def run_suite(suite, workers: int = 1):
+    def run_suite(suite, workers: int = 1, backend: str = "dict"):
         """Execute a :class:`~repro.scenarios.spec.ScenarioSuite` grid.
 
         The batch entry point of the scenario-sweep subsystem: every cell
@@ -288,10 +327,14 @@ class RoutingEngine:
         MCF memoized per snapshot), fanned out over ``workers``
         processes.  Returns a :class:`~repro.scenarios.report.SuiteResult`
         whose JSON artifact is bit-identical for any worker count.
+        ``backend`` selects the evaluation backend for fixed-ratio
+        schemes (``"dict"`` keeps the reference bit-exact artifacts;
+        ``"sparse"`` evaluates through compiled linear algebra,
+        numerically equivalent within 1e-9).
         """
         from repro.scenarios.runner import run_suite as _run_suite
 
-        return _run_suite(suite, workers=workers)
+        return _run_suite(suite, workers=workers, backend=backend)
 
     def __repr__(self) -> str:
         return (

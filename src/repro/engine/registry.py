@@ -490,10 +490,11 @@ def _build_oblivious(
     rng: RngLike = None,
     context: Optional[EngineContext] = None,
     oblivious: Union[str, ObliviousRoutingBuilder] = "racke",
+    backend: str = "dict",
     **source_params: Any,
 ) -> Router:
     source = build_oblivious_source(oblivious, network, rng=rng, context=context, **source_params)
-    return FixedRatioRouter(network, source, name="oblivious")
+    return FixedRatioRouter(network, source, name="oblivious", backend=backend)
 
 
 @register_scheme(
@@ -526,9 +527,10 @@ def _build_spf(
     network: Network,
     rng: RngLike = None,
     context: Optional[EngineContext] = None,
+    backend: str = "dict",
 ) -> Router:
     builder = build_oblivious_source("shortest-path", network, rng=rng, context=context)
-    return FixedRatioRouter(network, builder, name="spf")
+    return FixedRatioRouter(network, builder, name="spf", backend=backend)
 
 
 @register_scheme(

@@ -48,6 +48,17 @@ class SolverError(ReproError):
     """Raised when an LP or combinatorial solver fails to produce a solution."""
 
 
+class LinalgError(ReproError):
+    """Raised when the compiled linear-algebra evaluation backend is misused.
+
+    Examples include unknown backend or bench-target names and using a
+    compiled evaluator whose routing has mutated since compilation.
+    (Requesting ``"sparse"`` without scipy is *not* an error: it falls
+    back to the dense numpy representation by design; the evaluator's
+    ``backend`` attribute records what actually ran.)
+    """
+
+
 class InfeasibleError(SolverError):
     """Raised when a routing/flow problem has no feasible solution.
 

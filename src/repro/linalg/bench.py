@@ -1,0 +1,306 @@
+"""Benchmark targets behind the ``repro bench`` CLI subcommand.
+
+Each target compares the ``dict`` reference evaluator against the
+compiled ``sparse`` backend on a reproducible workload and emits a
+schema-stable artifact (``BENCH_<name>.json``) recording wall time,
+topology size, achieved demands/sec per backend, and the measured
+numerical agreement.  The artifacts are the repository's performance
+trajectory: committed baselines live at the repo root, CI regenerates a
+smoke-scale variant per run.
+
+Artifact schema (``repro-bench/v1``)::
+
+    {
+      "schema": "repro-bench/v1",
+      "name": "linalg",             # bench target
+      "scale": "full",              # smoke | small | full
+      "seed": 0,
+      "network":  {"name": ..., "n": ..., "m": ...},
+      "workload": {"num_demands": ..., "num_pairs": ..., "num_paths": ...},
+      "backends": {
+        "dict":   {"backend": "dict",   "seconds": ..., "demands_per_sec": ...},
+        "sparse": {"backend": "sparse", "seconds": ..., "demands_per_sec": ...,
+                   "compile_seconds": ...}
+      },
+      "speedup_sparse_over_dict": ...,
+      "max_abs_difference": ...,    # agreement between the two backends
+      "environment": {"python": ..., "numpy": ..., "scipy": true|false}
+    }
+
+Keys are only ever added, never renamed, so downstream tooling (the
+README performance table, CI artifact diffing) can rely on them.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.routing import Routing
+from repro.demands.generators import random_permutation_demand
+from repro.exceptions import LinalgError
+from repro.graphs.network import Network
+from repro.graphs.topologies import torus_2d
+from repro.linalg._matrix import HAVE_SCIPY
+from repro.linalg.evaluator import DictEvaluator, SparseEvaluator, build_evaluator
+from repro.te.failures import KEdgeFailureProcess
+from repro.utils.rng import ensure_rng
+from repro.utils.serialization import dumps as json_dumps
+
+BENCH_SCHEMA = "repro-bench/v1"
+
+SCALES = ("smoke", "small", "full")
+
+#: Per-scale (torus side, batch size).  ``full`` is the committed
+#: baseline: a 15x15 torus has 225 vertices (>= 200) and the batch holds
+#: 1000 demand matrices (>= 1000), matching the acceptance criteria.
+_LINALG_SCALES: Dict[str, Tuple[int, int]] = {
+    "smoke": (6, 50),
+    "small": (10, 200),
+    "full": (15, 1000),
+}
+
+
+def _shortest_path_routing(network: Network) -> Routing:
+    """Single shortest path per ordered pair (the SMORE ``spf`` baseline)."""
+    import networkx as nx
+
+    trees = dict(nx.all_pairs_shortest_path(network.graph))
+    mapping = {
+        (source, target): trees[source][target]
+        for source in network.vertices
+        for target in network.vertices
+        if source != target
+    }
+    return Routing.single_path(network, mapping)
+
+
+def _workload(scale: str, seed: int):
+    side, num_demands = _LINALG_SCALES[scale]
+    network = torus_2d(side)
+    routing = _shortest_path_routing(network)
+    rng = ensure_rng(seed)
+    demands = [random_permutation_demand(network, rng=rng) for _ in range(num_demands)]
+    return network, routing, demands
+
+
+def _environment() -> Dict[str, Any]:
+    try:
+        import scipy
+
+        scipy_version = scipy.__version__
+    except ImportError:  # pragma: no cover
+        scipy_version = None
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scipy": scipy_version if HAVE_SCIPY else False,
+    }
+
+
+def bench_linalg(scale: str = "small", seed: int = 0) -> Dict[str, Any]:
+    """Batched demand evaluation: dict loops vs one sparse matmul.
+
+    Routes a batch of random permutation demands through a shortest-path
+    routing on a 2-D torus and measures end-to-end congestion evaluation
+    per backend (the sparse figure includes demand vectorization but not
+    the one-time compile, reported separately as ``compile_seconds``).
+    """
+    network, routing, demands = _workload(scale, seed)
+
+    dict_evaluator = DictEvaluator(routing, cache_size=1)
+    start = time.perf_counter()
+    dict_congestions = dict_evaluator.congestions(demands)
+    dict_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sparse_evaluator = build_evaluator(routing, backend="sparse")
+    compile_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    sparse_congestions = sparse_evaluator.congestions(demands)
+    sparse_seconds = time.perf_counter() - start
+
+    max_diff = float(np.max(np.abs(dict_congestions - sparse_congestions), initial=0.0))
+    return {
+        "schema": BENCH_SCHEMA,
+        "name": "linalg",
+        "scale": scale,
+        "seed": seed,
+        "network": {"name": network.name, "n": network.num_vertices, "m": network.num_edges},
+        "workload": {
+            "num_demands": len(demands),
+            "num_pairs": sparse_evaluator.compiled.num_pairs,
+            "num_paths": sparse_evaluator.compiled.num_paths,
+        },
+        "backends": {
+            "dict": {
+                "backend": "dict",
+                "seconds": dict_seconds,
+                "demands_per_sec": len(demands) / dict_seconds if dict_seconds > 0 else None,
+            },
+            "sparse": {
+                "backend": sparse_evaluator.backend,
+                "seconds": sparse_seconds,
+                "demands_per_sec": len(demands) / sparse_seconds if sparse_seconds > 0 else None,
+                "compile_seconds": compile_seconds,
+            },
+        },
+        "speedup_sparse_over_dict": dict_seconds / sparse_seconds if sparse_seconds > 0 else None,
+        "max_abs_difference": max_diff,
+        "environment": _environment(),
+    }
+
+
+def bench_rebase(scale: str = "small", seed: int = 0) -> Dict[str, Any]:
+    """Incremental failure rebase: renormalize loops vs compiled masking.
+
+    Samples k-edge failure events and, per event, re-evaluates the whole
+    demand batch on the degraded routing.  The dict side renormalizes
+    each pair's surviving distribution per demand (the scenario runner's
+    fixed-ratio loop); the sparse side masks failed-edge columns and
+    rescales once, then evaluates the batch with one matmul.
+    """
+    # The dict reference IS the scenario runner's fixed-ratio loop —
+    # imported (lazily: scenarios sits above linalg in the layer map),
+    # not copied, so the committed speedup always measures the code the
+    # sweeps actually run.
+    from repro.scenarios.runner import _route_fixed_ratio_degraded
+    from repro.te.failures import apply_failure
+
+    network, routing, demands = _workload(scale, seed)
+    num_events = {"smoke": 2, "small": 4, "full": 8}[scale]
+    process = KEdgeFailureProcess(k=2)
+    rng = ensure_rng(seed + 1)
+    events = [
+        event
+        for event in (process.sample(network, rng) for _ in range(num_events * 2))
+        if apply_failure(network, event) is not None
+    ][:num_events]
+
+    class _FixedRatioStandIn:
+        """Duck-typed FixedRatioRouter: the runner loop only reads .routing."""
+
+        def __init__(self, fixed_routing):
+            self.routing = fixed_routing
+
+    stand_in = _FixedRatioStandIn(routing)
+    start = time.perf_counter()
+    dict_results: List[float] = []
+    for event in events:
+        degraded = apply_failure(network, event)
+        for demand in demands:
+            congestion, _coverage = _route_fixed_ratio_degraded(stand_in, demand, degraded)
+            dict_results.append(float("inf") if congestion is None else congestion)
+    dict_seconds = time.perf_counter() - start
+
+    sparse_evaluator = build_evaluator(routing, backend="sparse")
+    start = time.perf_counter()
+    # The pair index is shared across rebases: vectorize the batch once.
+    batch = sparse_evaluator.demand_matrix(demands)
+    sparse_results: List[float] = []
+    for event in events:
+        rebased = sparse_evaluator.rebased(event)
+        sparse_results.extend(rebased.congestions_from_matrix(batch).tolist())
+    sparse_seconds = time.perf_counter() - start
+
+    finite = [
+        abs(a - b)
+        for a, b in zip(dict_results, sparse_results)
+        if np.isfinite(a) and np.isfinite(b)
+    ]
+    max_diff = float(max(finite, default=0.0))
+    # A backend disagreeing on *coverage* (inf vs finite) would be
+    # invisible in the finite-only diff; count those mismatches so the
+    # artifact cannot claim agreement while masking a real divergence.
+    finiteness_mismatches = sum(
+        1
+        for a, b in zip(dict_results, sparse_results)
+        if np.isfinite(a) != np.isfinite(b)
+    )
+    evaluations = len(events) * len(demands)
+    return {
+        "schema": BENCH_SCHEMA,
+        "name": "rebase",
+        "scale": scale,
+        "seed": seed,
+        "network": {"name": network.name, "n": network.num_vertices, "m": network.num_edges},
+        "workload": {
+            "num_demands": len(demands),
+            "num_events": len(events),
+            "num_evaluations": evaluations,
+            "num_pairs": sparse_evaluator.compiled.num_pairs,
+            "num_paths": sparse_evaluator.compiled.num_paths,
+        },
+        "backends": {
+            "dict": {
+                "backend": "dict",
+                "seconds": dict_seconds,
+                "demands_per_sec": evaluations / dict_seconds if dict_seconds > 0 else None,
+            },
+            "sparse": {
+                "backend": sparse_evaluator.backend,
+                "seconds": sparse_seconds,
+                "demands_per_sec": evaluations / sparse_seconds if sparse_seconds > 0 else None,
+            },
+        },
+        "speedup_sparse_over_dict": dict_seconds / sparse_seconds if sparse_seconds > 0 else None,
+        "max_abs_difference": max_diff,
+        "finiteness_mismatches": finiteness_mismatches,
+        "environment": _environment(),
+    }
+
+
+#: name -> (runner, one-line description).
+BENCH_TARGETS: Dict[str, Tuple[Callable[..., Dict[str, Any]], str]] = {
+    "linalg": (bench_linalg, "batched demand evaluation: dict loops vs sparse matmul"),
+    "rebase": (bench_rebase, "post-failure evaluation: renormalize loops vs compiled rebase"),
+}
+
+
+def available_benches() -> List[str]:
+    return sorted(BENCH_TARGETS)
+
+
+def run_bench(name: str, scale: str = "small", seed: int = 0) -> Dict[str, Any]:
+    """Run one registered bench target and return its artifact payload."""
+    if name not in BENCH_TARGETS:
+        raise LinalgError(f"unknown bench target {name!r}; available: {available_benches()}")
+    if scale not in SCALES:
+        raise LinalgError(f"unknown bench scale {scale!r}; available: {list(SCALES)}")
+    runner, _ = BENCH_TARGETS[name]
+    return runner(scale=scale, seed=seed)
+
+
+def write_bench_artifact(payload: Dict[str, Any], output_dir: str = ".") -> str:
+    """Write the bench artifact under ``output_dir``; returns the path.
+
+    Full-scale runs write the canonical ``BENCH_<name>.json`` (the
+    committed baselines); other scales write
+    ``BENCH_<name>_<scale>.json``, so a casual ``repro bench`` from the
+    repository root can never clobber a committed full-scale baseline
+    with smaller numbers.
+    """
+    import os
+
+    os.makedirs(output_dir, exist_ok=True)
+    scale = payload.get("scale", "full")
+    suffix = "" if scale == "full" else f"_{scale}"
+    path = os.path.join(output_dir, f"BENCH_{payload['name']}{suffix}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json_dumps(payload) + "\n")
+    return path
+
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BENCH_TARGETS",
+    "SCALES",
+    "available_benches",
+    "bench_linalg",
+    "bench_rebase",
+    "run_bench",
+    "write_bench_artifact",
+]

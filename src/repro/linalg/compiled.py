@@ -1,0 +1,493 @@
+"""Compile a :class:`~repro.core.routing.Routing` into sparse operators.
+
+The paper's quality measures are all linear in the demand: routing a
+demand ``d`` puts weight ``d(s, t) * P[R(s, t) = p]`` on path ``p``, and
+edge loads are sums of path weights.  Compilation makes that linearity
+executable:
+
+* every covered pair gets a row index, every support path a path index,
+  every network edge a column index;
+* the **path × edge incidence matrix** ``A`` has ``A[p, e] = 1`` when
+  path ``p`` crosses edge ``e``;
+* the **pair × path distribution matrix** ``D`` has ``D[q, p]`` equal to
+  the probability of path ``p`` in the pair-``q`` distribution;
+* their product ``M = D @ A`` (pair × edge) maps a demand *vector* to
+  edge loads in one multiply: ``loads = d @ M``; a whole batch of
+  demands becomes one (batch × pair) @ (pair × edge) product.
+
+Congestion, dilation, utilization percentiles and throughput then reduce
+to vectorized reductions over the resulting edge-load array.
+
+The compiled form is immutable.  Link failures do not require
+recompilation: :meth:`CompiledRouting.rebased` masks the paths crossing
+failed edges, renormalizes each pair's surviving probabilities, and
+rescales the capacity vector — the incidence matrix is shared with the
+original object.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError, LinalgError, RoutingError
+from repro.graphs.network import Edge, Network, Path, Vertex, path_edges
+from repro.linalg._matrix import build_matrix, resolve_representation, to_dense
+
+Pair = Tuple[Vertex, Vertex]
+
+#: Probabilities below this are treated as dead paths after renormalization.
+_PROB_TOL = 0.0
+
+#: How many rebased operators one compiled routing memoizes (LRU), per
+#: representation.  Each rebase holds its own pair × edge matrix; in the
+#: dense fallback that is a full (num_pairs × num_edges) float array
+#: (~181 MB on a 225-node torus), so the dense bound stays tight.
+_REBASE_CACHE_SIZE = {"sparse": 8, "dense": 2}
+
+
+def _pair_edge_matrix(path_pair, path_prob, inc_rows, inc_cols, shape, representation):
+    """``M = D @ A`` built straight from incidence triplets.
+
+    Entry ``(pair_of_path(p), e)`` accumulates ``prob(p)`` for every
+    incidence entry ``(p, e)`` — equivalent to the distribution × incidence
+    product without ever materializing either factor.
+    """
+    weights = path_prob[inc_rows]
+    keep = weights > 0
+    return build_matrix(
+        path_pair[inc_rows[keep]], inc_cols[keep], weights[keep], shape, representation
+    )
+
+
+class CompiledRouting:
+    """Immutable array form of a routing: index arrays + sparse operators.
+
+    Instances are built through :meth:`from_routing` (fresh compile) or
+    :meth:`rebased` (failure re-anchoring); the constructor is internal
+    plumbing shared by both.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        pairs: Tuple[Pair, ...],
+        capacities: np.ndarray,
+        path_pair: np.ndarray,
+        path_prob: np.ndarray,
+        path_hops: np.ndarray,
+        inc_rows: np.ndarray,
+        inc_cols: np.ndarray,
+        pair_edge,
+        pair_max_hops: np.ndarray,
+        covered: np.ndarray,
+        representation: str,
+        incidence_holder: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self._network = network
+        self._pairs = pairs
+        self._pair_index: Dict[Pair, int] = {pair: i for i, pair in enumerate(pairs)}
+        self._capacities = capacities
+        self._path_pair = path_pair
+        self._path_prob = path_prob
+        self._path_hops = path_hops
+        # Incidence in COO form (path index, edge index) — the only
+        # per-hop state; the explicit matrices are built lazily from it.
+        self._inc_rows = inc_rows
+        self._inc_cols = inc_cols
+        self._pair_edge = pair_edge
+        self._pair_max_hops = pair_max_hops
+        self._covered = covered
+        self._representation = representation
+        # Rebased instances share this holder: the incidence matrix is
+        # identical across rebases, so it is built at most once.
+        self._incidence_holder = {} if incidence_holder is None else incidence_holder
+        self._rebase_cache: "OrderedDict[object, CompiledRouting]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # Compilation
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_routing(cls, routing, representation: str = "auto") -> "CompiledRouting":
+        """Compile ``routing`` (index arrays built once, in canonical order).
+
+        ``representation`` selects the matrix storage: ``"sparse"``
+        (scipy CSR), ``"dense"`` (plain numpy), or ``"auto"`` (sparse
+        when scipy is importable, dense otherwise).
+        """
+        representation = resolve_representation(representation)
+        network: Network = routing.network
+        pairs: Tuple[Pair, ...] = tuple(sorted(routing.pairs(), key=repr))
+        num_pairs = len(pairs)
+        num_edges = network.num_edges
+
+        path_pair: List[int] = []
+        path_prob: List[float] = []
+        path_hops: List[int] = []
+        inc_rows: List[int] = []
+        inc_cols: List[int] = []
+        pair_max_hops = np.zeros(num_pairs, dtype=np.int64)
+        for pair_idx, (source, target) in enumerate(pairs):
+            for path, probability in routing.distribution(source, target).items():
+                if probability <= 0:
+                    continue
+                path_idx = len(path_pair)
+                path_pair.append(pair_idx)
+                path_prob.append(float(probability))
+                hops = len(path) - 1
+                path_hops.append(hops)
+                pair_max_hops[pair_idx] = max(pair_max_hops[pair_idx], hops)
+                for edge in path_edges(path):
+                    inc_rows.append(path_idx)
+                    inc_cols.append(network.edge_index(*edge))
+        path_pair_arr = np.asarray(path_pair, dtype=np.int64)
+        path_prob_arr = np.asarray(path_prob, dtype=float)
+        inc_rows_arr = np.asarray(inc_rows, dtype=np.int64)
+        inc_cols_arr = np.asarray(inc_cols, dtype=np.int64)
+
+        # Build M = D @ A directly from the incidence triplets: entry
+        # (pair_of_path, edge) accumulates the path's probability.  This
+        # never materializes D (num_pairs × num_paths) or A — which in
+        # the dense fallback would be quadratic-size allocations.
+        pair_edge = _pair_edge_matrix(
+            path_pair_arr, path_prob_arr, inc_rows_arr, inc_cols_arr,
+            (num_pairs, num_edges), representation,
+        )
+        capacities = np.array([network.capacity_of(edge) for edge in network.edges], dtype=float)
+        return cls(
+            network=network,
+            pairs=pairs,
+            capacities=capacities,
+            path_pair=path_pair_arr,
+            path_prob=path_prob_arr,
+            path_hops=np.asarray(path_hops, dtype=np.int64),
+            inc_rows=inc_rows_arr,
+            inc_cols=inc_cols_arr,
+            pair_edge=pair_edge,
+            pair_max_hops=pair_max_hops,
+            covered=np.ones(num_pairs, dtype=bool),
+            representation=representation,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    @property
+    def representation(self) -> str:
+        """Matrix storage actually in use: ``"sparse"`` or ``"dense"``."""
+        return self._representation
+
+    @property
+    def pairs(self) -> Tuple[Pair, ...]:
+        """Covered pairs in compiled (row-index) order."""
+        return self._pairs
+
+    @property
+    def pair_index(self) -> Mapping[Pair, int]:
+        return dict(self._pair_index)
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self._pairs)
+
+    @property
+    def num_paths(self) -> int:
+        return len(self._path_pair)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._capacities)
+
+    @property
+    def capacities(self) -> np.ndarray:
+        """Per-edge capacity vector (network edge-index order; a copy)."""
+        return self._capacities.copy()
+
+    @property
+    def incidence(self):
+        """The path × edge incidence matrix (lazy; shared across rebases).
+
+        Built on first access from the COO triplets — evaluation never
+        needs it, so lean (dense-fallback) instances only pay for it
+        when introspected.  Do not mutate.
+        """
+        matrix = self._incidence_holder.get("incidence")
+        if matrix is None:
+            matrix = build_matrix(
+                self._inc_rows,
+                self._inc_cols,
+                np.ones(len(self._inc_rows)),
+                (self.num_paths, self.num_edges),
+                self._representation,
+            )
+            self._incidence_holder["incidence"] = matrix
+        return matrix
+
+    @property
+    def distribution(self):
+        """The pair × path probability matrix (lazy; per instance).
+
+        Like :attr:`incidence`, an introspection aid: evaluation uses
+        the fused :attr:`pair_edge_operator` instead.  In the dense
+        representation this is a (num_pairs × num_paths) allocation —
+        avoid on large compiles.  Do not mutate.
+        """
+        if getattr(self, "_distribution_cache", None) is None:
+            live = self._path_prob > 0
+            self._distribution_cache = build_matrix(
+                self._path_pair[live],
+                np.flatnonzero(live),
+                self._path_prob[live],
+                (self.num_pairs, self.num_paths),
+                self._representation,
+            )
+        return self._distribution_cache
+
+    @property
+    def pair_edge_operator(self):
+        """``distribution @ incidence``: unit-demand edge loads per pair."""
+        return self._pair_edge
+
+    def is_covered(self, source: Vertex, target: Vertex) -> bool:
+        """True when the pair still has at least one (surviving) path."""
+        index = self._pair_index.get((source, target))
+        return index is not None and bool(self._covered[index])
+
+    # ------------------------------------------------------------------ #
+    # Demand vectorization
+    # ------------------------------------------------------------------ #
+    def demand_vector(self, demand, missing: str = "error") -> np.ndarray:
+        """Dense demand vector over the compiled pair index.
+
+        ``missing`` controls pairs with positive demand that the routing
+        does not cover at all: ``"error"`` raises :class:`RoutingError`
+        (matching the dict evaluator), ``"drop"`` ignores them.  The
+        generic counterpart over an arbitrary pair index is
+        :meth:`Demand.as_vector`, which raises ``DemandError`` instead —
+        this method keeps the *evaluator* error contract.
+        """
+        vector = np.zeros(self.num_pairs, dtype=float)
+        for (source, target), amount in demand.items():
+            if amount <= 0:
+                continue
+            index = self._pair_index.get((source, target))
+            if index is None:
+                if missing == "drop":
+                    continue
+                raise RoutingError(f"routing does not cover pair {(source, target)!r}")
+            vector[index] += amount
+        return vector
+
+    def demand_matrix(self, demands: Sequence, missing: str = "error"):
+        """Batch of demand vectors as one (batch × pair) matrix.
+
+        Stored in the compiled representation (CSR or dense), ready for
+        the single ``@ pair_edge_operator`` product.
+        """
+        rows: List[int] = []
+        cols: List[int] = []
+        data: List[float] = []
+        for row, demand in enumerate(demands):
+            for (source, target), amount in demand.items():
+                if amount <= 0:
+                    continue
+                index = self._pair_index.get((source, target))
+                if index is None:
+                    if missing == "drop":
+                        continue
+                    raise RoutingError(f"routing does not cover pair {(source, target)!r}")
+                rows.append(row)
+                cols.append(index)
+                data.append(float(amount))
+        return build_matrix(rows, cols, data, (len(demands), self.num_pairs), self._representation)
+
+    def _has_uncovered(self, vector: np.ndarray) -> bool:
+        if self._covered.all():
+            return False
+        return bool(np.any(vector[~self._covered] > 0))
+
+    # ------------------------------------------------------------------ #
+    # Evaluation: one demand
+    # ------------------------------------------------------------------ #
+    def edge_load_vector(self, demand, missing: str = "error") -> np.ndarray:
+        """Raw per-edge loads (network edge-index order) for one demand."""
+        vector = self.demand_vector(demand, missing=missing)
+        return np.asarray(vector @ self._pair_edge, dtype=float).ravel()
+
+    def congestion(self, demand, missing: str = "error") -> float:
+        """``cong(R, d)``; infinite when a demanded pair lost every path."""
+        vector = self.demand_vector(demand, missing=missing)
+        if self._has_uncovered(vector):
+            return float("inf")
+        loads = np.asarray(vector @ self._pair_edge, dtype=float).ravel()
+        if not loads.size:
+            return 0.0
+        return float(np.max(loads / self._capacities, initial=0.0))
+
+    def dilation(self, demand, missing: str = "error") -> int:
+        """``dil(R, d)`` — max hops among surviving paths of demanded pairs."""
+        vector = self.demand_vector(demand, missing=missing)
+        active = vector > 0
+        if not np.any(active):
+            return 0
+        return int(np.max(self._pair_max_hops[active], initial=0))
+
+    def coverage(self, demand) -> float:
+        """Fraction of demanded pairs that still have at least one path."""
+        pairs = demand.pairs()
+        if not pairs:
+            return 1.0
+        covered = 0
+        for pair in pairs:
+            index = self._pair_index.get(pair)
+            if index is not None and self._covered[index]:
+                covered += 1
+        return covered / len(pairs)
+
+    # ------------------------------------------------------------------ #
+    # Evaluation: demand batches
+    # ------------------------------------------------------------------ #
+    def edge_load_matrix(self, demands: Sequence, missing: str = "error") -> np.ndarray:
+        """(batch × edge) dense edge-load array: one sparse matmul."""
+        batch = self.demand_matrix(demands, missing=missing)
+        return to_dense(batch @ self._pair_edge)
+
+    def congestions(self, demands: Sequence, missing: str = "error") -> np.ndarray:
+        """Per-demand max congestion over one batched evaluation."""
+        return self.congestions_from_matrix(self.demand_matrix(demands, missing=missing))
+
+    def congestions_from_matrix(self, batch) -> np.ndarray:
+        """Per-demand max congestion for an already-vectorized batch.
+
+        ``batch`` is a (batch × pair) matrix over *this* pair indexing —
+        typically built once via :meth:`demand_matrix` and reused across
+        the rebased operators of many failure events (the pair index is
+        shared, so no re-vectorization is needed per event).
+        """
+        num_demands = batch.shape[0]
+        loads = to_dense(batch @ self._pair_edge)
+        if not loads.size:
+            return np.zeros(num_demands, dtype=float)
+        results = np.max(loads / self._capacities[np.newaxis, :], axis=1, initial=0.0)
+        if not self._covered.all():
+            # Demand entries are nonnegative, so a demand touches an
+            # uncovered pair iff its mass against the indicator is > 0.
+            uncovered_mass = np.asarray(
+                batch @ (~self._covered).astype(float), dtype=float
+            ).ravel()
+            results = np.where(uncovered_mass > 0, np.inf, results)
+        return np.asarray(results, dtype=float)
+
+    # ------------------------------------------------------------------ #
+    # Failure rebase: no recompilation
+    # ------------------------------------------------------------------ #
+    def rebased(self, event) -> "CompiledRouting":
+        """Re-anchor onto the degraded network of a failure event.
+
+        Paths crossing a removed edge are masked (their probability mass
+        redistributed over the pair's survivors, exactly the fixed-ratio
+        renormalization of the scenario runner); ``capacity_scale``
+        entries rescale the capacity vector.  The incidence matrix and
+        index arrays are shared — nothing is recompiled.  Results are
+        memoized per event.
+        """
+        if event.is_null():
+            return self
+        cached = self._rebase_cache.get(event)
+        if cached is not None:
+            self._rebase_cache.move_to_end(event)
+            return cached
+
+        failed_indices: List[int] = []
+        failed_set = set()
+        for u, v in event.failed_edges:
+            try:
+                index = self._network.edge_index(u, v)
+            except GraphError as error:
+                raise LinalgError(
+                    f"failure event removes edge {(u, v)!r} unknown to the compiled network"
+                ) from error
+            failed_indices.append(index)
+            failed_set.add(index)
+
+        alive = np.ones(self.num_paths, dtype=bool)
+        if failed_indices and self.num_paths:
+            broken = np.isin(self._inc_cols, np.asarray(failed_indices))
+            alive[self._inc_rows[broken]] = False
+
+        # Surviving probability mass per pair, then per-path renormalization.
+        if self.num_paths:
+            surviving_total = np.zeros(self.num_pairs, dtype=float)
+            np.add.at(
+                surviving_total, self._path_pair[alive], self._path_prob[alive]
+            )
+        else:
+            surviving_total = np.zeros(self.num_pairs, dtype=float)
+        covered = surviving_total > _PROB_TOL
+        denominator = np.where(covered, surviving_total, 1.0)
+        new_prob = np.where(
+            alive & covered[self._path_pair],
+            self._path_prob / denominator[self._path_pair],
+            0.0,
+        )
+
+        live = new_prob > 0
+        pair_edge = _pair_edge_matrix(
+            self._path_pair, new_prob, self._inc_rows, self._inc_cols,
+            (self.num_pairs, self.num_edges), self._representation,
+        )
+
+        pair_max_hops = np.zeros(self.num_pairs, dtype=np.int64)
+        if np.any(live):
+            np.maximum.at(pair_max_hops, self._path_pair[live], self._path_hops[live])
+
+        capacities = self._capacities.copy()
+        for (u, v), scale in event.capacity_scale:
+            if not (0.0 < scale <= 1.0):
+                # Same contract as apply_failure: reject instead of
+                # silently producing zero capacities (0/0 -> NaN).
+                raise GraphError(
+                    f"capacity scale for edge {(u, v)!r} must be in (0, 1], got {scale}"
+                )
+            try:
+                index = self._network.edge_index(u, v)
+            except GraphError:
+                continue
+            if index in failed_set:
+                continue
+            capacities[index] *= scale
+
+        rebased = CompiledRouting(
+            network=self._network,
+            pairs=self._pairs,
+            capacities=capacities,
+            path_pair=self._path_pair,
+            path_prob=new_prob,
+            path_hops=self._path_hops,
+            inc_rows=self._inc_rows,
+            inc_cols=self._inc_cols,
+            pair_edge=pair_edge,
+            pair_max_hops=pair_max_hops,
+            covered=covered,
+            representation=self._representation,
+            incidence_holder=self._incidence_holder,
+        )
+        self._rebase_cache[event] = rebased
+        while len(self._rebase_cache) > _REBASE_CACHE_SIZE[self._representation]:
+            self._rebase_cache.popitem(last=False)
+        return rebased
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledRouting(pairs={self.num_pairs}, paths={self.num_paths}, "
+            f"edges={self.num_edges}, representation={self._representation!r})"
+        )
+
+
+__all__ = ["CompiledRouting", "Pair"]

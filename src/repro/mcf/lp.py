@@ -20,8 +20,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
-from scipy import sparse
-from scipy.optimize import linprog
+
+try:
+    from scipy import sparse
+    from scipy.optimize import linprog
+except ImportError:  # pragma: no cover - scipy ships via the [lp] extra
+    sparse = None
+    linprog = None
 
 from repro.core.routing import Routing
 from repro.demands.demand import Demand
@@ -66,6 +71,11 @@ def min_congestion_lp(
         When True, decompose the optimal flow into per-commodity path
         distributions and return them as a :class:`Routing`.
     """
+    if linprog is None:
+        raise SolverError(
+            "scipy is required for LP solving; install the 'lp' extra "
+            "(pip install repro-semi-oblivious-routing[lp])"
+        )
     commodities = [(pair, amount) for pair, amount in demand.items() if amount > 0]
     if not commodities:
         return MinCongestionResult(congestion=0.0, routing=None, edge_congestions={})

@@ -19,8 +19,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
-from scipy import sparse
-from scipy.optimize import linprog
+
+try:
+    from scipy import sparse
+    from scipy.optimize import linprog
+except ImportError:  # pragma: no cover - scipy ships via the [lp] extra
+    sparse = None
+    linprog = None
 
 from repro.core.path_system import PathSystem
 from repro.core.routing import Routing
@@ -60,6 +65,11 @@ def min_congestion_on_paths(
     InfeasibleError
         When some demanded pair has no candidate path in the system.
     """
+    if linprog is None:
+        raise SolverError(
+            "scipy is required for LP solving; install the 'lp' extra "
+            "(pip install repro-semi-oblivious-routing[lp])"
+        )
     network = system.network
     commodities: List[Tuple[Tuple[Vertex, Vertex], float, List[Path]]] = []
     for pair, amount in demand.items():

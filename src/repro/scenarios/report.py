@@ -35,10 +35,18 @@ ARTIFACT_VERSION = 1
 
 @dataclass
 class SuiteResult:
-    """Outcome of one scenario-suite run: manifest plus per-cell rows."""
+    """Outcome of one scenario-suite run: manifest plus per-cell rows.
+
+    ``backend`` records which evaluation backend produced the rows
+    (``dict`` is the bit-exact reference; compiled backends agree within
+    1e-9 but differ in float summation order), so an artifact is
+    attributable even when two runs of the same manifest are
+    byte-different.
+    """
 
     suite: ScenarioSuite
     cells: List[Dict[str, Any]] = field(default_factory=list)
+    backend: str = "dict"
 
     # ------------------------------------------------------------------ #
     # Serialization (the JSON artifact)
@@ -47,6 +55,7 @@ class SuiteResult:
         return {
             "artifact": "scenario-suite",
             "version": ARTIFACT_VERSION,
+            "backend": self.backend,
             "suite": self.suite.to_dict(),
             "cells": [dict(cell) for cell in self.cells],
         }
@@ -60,6 +69,7 @@ class SuiteResult:
         return cls(
             suite=ScenarioSuite.from_dict(payload.get("suite", {})),
             cells=[dict(cell) for cell in payload.get("cells", ())],
+            backend=str(payload.get("backend", "dict")),
         )
 
     # ------------------------------------------------------------------ #

@@ -45,6 +45,7 @@ from repro.engine.adapters import FixedRatioRouter, OptimalRouter
 from repro.engine.engine import RoutingEngine
 from repro.engine.router import RouteResult
 from repro.graphs.network import Network, edge_key
+from repro.linalg.evaluator import BACKEND_CHOICES
 from repro.mcf.lp import min_congestion_lp
 from repro.te.failures import apply_failure, rebase_system, rebase_without_network
 
@@ -102,9 +103,28 @@ def _disconnected_coverage(router: Any, event, demand: Demand) -> float:
 
 
 def _route_fixed_ratio_degraded(
-    router: FixedRatioRouter, demand: Demand, degraded: Network
+    router: FixedRatioRouter,
+    demand: Demand,
+    degraded: Network,
+    event=None,
 ) -> Tuple[Optional[float], float]:
-    """Renormalize surviving split ratios per pair; (congestion, coverage)."""
+    """Renormalize surviving split ratios per pair; (congestion, coverage).
+
+    The scheme's own ``router.backend`` decides the path — it already
+    encodes the engine-default-vs-spec-pin precedence, so failure cells
+    evaluate through exactly the backend the healthy cells used.  With a
+    compiled backend the renormalization happens once per failure event
+    on the compiled arrays (failed-edge paths masked, probabilities
+    rescaled, capacity vector thinned — no recompilation) and every
+    snapshot of the cell reuses the rebased operator.
+    """
+    backend = getattr(router, "backend", "dict")
+    if backend != "dict" and event is not None:
+        evaluator = router.routing.evaluator(backend).rebased(event)
+        coverage = evaluator.coverage(demand)
+        if demand.pairs() and coverage < 1.0:
+            return None, coverage
+        return evaluator.congestion(demand), coverage
     weighted: List[Tuple[Sequence, float]] = []
     pairs = demand.pairs()
     covered = 0
@@ -136,6 +156,7 @@ def _route_under_failure(
     demand: Demand,
     degraded: Network,
     optimum: float,
+    event=None,
 ) -> Tuple[RouteResult, float]:
     """One scheme's post-failure result: re-adapt rates, never re-install."""
     if isinstance(router, OptimalRouter):
@@ -144,7 +165,9 @@ def _route_under_failure(
             1.0,
         )
     if isinstance(router, FixedRatioRouter):
-        congestion, coverage = _route_fixed_ratio_degraded(router, demand, degraded)
+        congestion, coverage = _route_fixed_ratio_degraded(
+            router, demand, degraded, event=event
+        )
         result = RouteResult(
             scheme=label,
             congestion=float("inf") if congestion is None else congestion,
@@ -247,7 +270,7 @@ def _evaluate_cell(
             optimum = min_congestion_lp(degraded, snapshot).congestion
             for label in engine.labels():
                 result, coverage = _route_under_failure(
-                    engine[label], label, snapshot, degraded, optimum
+                    engine[label], label, snapshot, degraded, optimum, event=event,
                 )
                 row = result.to_dict()
                 row.update(snapshot=snapshot_index, coverage=coverage)
@@ -258,19 +281,23 @@ def _evaluate_cell(
 # --------------------------------------------------------------------- #
 # Topology shards
 # --------------------------------------------------------------------- #
-def _run_topology_shard(task: Tuple[Dict[str, Any], int]) -> List[Dict[str, Any]]:
+def _run_topology_shard(task: Tuple[Dict[str, Any], int, str]) -> List[Dict[str, Any]]:
     """Worker entry point: evaluate every cell of one topology.
 
-    ``task`` is ``(suite.to_dict(), topology_index)`` — plain JSON types,
-    so the function is picklable under any multiprocessing start method
-    and the worker rebuilds exactly the state the spec declares.
+    ``task`` is ``(suite.to_dict(), topology_index, backend)`` — plain
+    JSON types, so the function is picklable under any multiprocessing
+    start method and the worker rebuilds exactly the state the spec
+    declares.
     """
-    suite_payload, topology_index = task
+    suite_payload, topology_index, backend = task
     suite = ScenarioSuite.from_dict(suite_payload)
     topology_spec = suite.topologies[topology_index]
     network = topology_spec.build(_derived_rng(suite.seed, _STREAM_TOPOLOGY, topology_index))
     engine = RoutingEngine(
-        network, list(suite.schemes), rng=_derived_rng(suite.seed, _STREAM_ENGINE, topology_index)
+        network,
+        list(suite.schemes),
+        rng=_derived_rng(suite.seed, _STREAM_ENGINE, topology_index),
+        backend=None if backend == "dict" else backend,
     )
     engine.install()
     cells = [cell for cell in suite.cells() if cell.topology_index == topology_index]
@@ -280,6 +307,7 @@ def _run_topology_shard(task: Tuple[Dict[str, Any], int]) -> List[Dict[str, Any]
 def run_suite(
     suite: ScenarioSuite,
     workers: int = 1,
+    backend: str = "dict",
 ) -> SuiteResult:
     """Execute every cell of ``suite``; deterministic for any ``workers``.
 
@@ -287,11 +315,25 @@ def run_suite(
     them out on a spawn-context ``multiprocessing`` pool (capped at the
     number of shards).  The returned :class:`SuiteResult` is identical —
     bit for bit — in both modes.
+
+    ``backend`` selects the evaluation backend for fixed-ratio schemes:
+    ``"dict"`` (default) reproduces the reference artifacts bit for bit;
+    ``"sparse"``/``"dense"``/``"auto"`` evaluate through the compiled
+    linear-algebra backend (numerically equivalent within 1e-9; failure
+    cells rebase the compiled operators instead of re-filtering path
+    dicts per snapshot).
     """
     if workers < 1:
         raise ValueError("workers must be at least 1")
+    if backend not in BACKEND_CHOICES:
+        raise ValueError(
+            f"unknown evaluation backend {backend!r}; available: {list(BACKEND_CHOICES)}"
+        )
     suite_payload = suite.to_dict()
-    tasks = [(suite_payload, topology_index) for topology_index in range(len(suite.topologies))]
+    tasks = [
+        (suite_payload, topology_index, backend)
+        for topology_index in range(len(suite.topologies))
+    ]
     if workers == 1 or len(tasks) == 1:
         shard_results = [_run_topology_shard(task) for task in tasks]
     else:
@@ -302,7 +344,13 @@ def run_suite(
     cells = sorted(
         (cell for shard in shard_results for cell in shard), key=lambda cell: cell["cell"]
     )
-    return SuiteResult(suite=suite, cells=cells)
+    # Record the *resolved* backend ("sparse" resolves to "dense" on
+    # numpy-only installs), so the artifact attributes what actually ran.
+    if backend != "dict":
+        from repro.linalg._matrix import resolve_representation
+
+        backend = resolve_representation(backend)
+    return SuiteResult(suite=suite, cells=cells, backend=backend)
 
 
 __all__ = ["run_suite"]

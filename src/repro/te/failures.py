@@ -34,6 +34,9 @@ Evaluation helpers:
 * :func:`surviving_system` — drop every candidate path using a failed link,
 * :func:`apply_failure` / :func:`rebase_system` — build the degraded
   network for an event and re-anchor a path system onto it,
+* :func:`rebased_evaluator` — the compiled-backend counterpart for
+  fixed-ratio routings: mask failed paths and rescale capacities on the
+  compiled arrays (:mod:`repro.linalg`) instead of recompiling,
 * :func:`failure_coverage` — fraction of demanded pairs that still have at
   least one candidate path after the failure,
 * :func:`evaluate_failure` / :func:`failure_sweep` — re-optimize rates on
@@ -521,6 +524,21 @@ def evaluate_failure_event(
     )
 
 
+def rebased_evaluator(routing, event: FailureEvent, backend: str = "sparse"):
+    """The compiled evaluator for ``routing`` after ``event`` — no recompile.
+
+    The incremental counterpart of :func:`rebase_system` for *routings*
+    (fixed splitting ratios) instead of path systems: the compiled form
+    masks the paths crossing removed edges, renormalizes each pair's
+    surviving probabilities, and rescales the capacity vector, sharing
+    the incidence matrix with the healthy compile and memoizing per
+    event.  Demands touching a pair that lost every path evaluate to
+    infinite congestion; ``evaluator.coverage(demand)`` reports the
+    surviving fraction.  See :mod:`repro.linalg`.
+    """
+    return routing.evaluator(backend).rebased(event)
+
+
 def rebase_without_network(
     system: PathSystem, event: FailureEvent
 ) -> Dict[Tuple[Vertex, Vertex], List]:
@@ -556,5 +574,6 @@ __all__ = [
     "build_failure_process",
     "apply_failure",
     "rebase_system",
+    "rebased_evaluator",
     "evaluate_failure_event",
 ]

@@ -4,11 +4,19 @@ The SMORE evaluation reports maximum link utilization (equivalently, the
 congestion of the routed traffic matrix), utilization percentiles, and
 the admissible throughput scale (how much the matrix can be scaled before
 some link saturates).
+
+All functions route through the routing's shared evaluation backend
+(:meth:`Routing.evaluator`), so computing several metrics for the same
+(routing, demand) pair walks the paths once.  ``backend`` selects the
+evaluator (``"dict"`` reference loops, ``"sparse"``/``"dense"`` compiled
+linear algebra, ``"auto"``); functions that reduce an edge-load array
+also accept the precomputed array/mapping directly instead of
+recomputing it from the routing.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -16,37 +24,110 @@ from repro.core.routing import Routing
 from repro.demands.demand import Demand
 from repro.graphs.network import Vertex
 
+Edge = Tuple[Vertex, Vertex]
 
-def max_link_utilization(routing: Routing, demand: Demand) -> float:
+
+def max_link_utilization(routing: Routing, demand: Demand, backend: str = "dict") -> float:
     """Maximum link utilization = congestion of the routed demand."""
-    return routing.congestion(demand)
+    return routing.evaluator(backend).congestion(demand)
+
+
+def _utilization_array(
+    routing: Routing,
+    edge_congestions: Union[Mapping[Edge, float], np.ndarray, Sequence[float]],
+) -> np.ndarray:
+    """Per-edge utilizations over *all* network edges (zero-load included)."""
+    if isinstance(edge_congestions, Mapping):
+        return np.asarray(
+            [edge_congestions.get(edge, 0.0) for edge in routing.network.edges], dtype=float
+        )
+    array = np.asarray(edge_congestions, dtype=float)
+    if array.shape != (routing.network.num_edges,):
+        raise ValueError(
+            f"edge utilization array has shape {array.shape}, "
+            f"expected ({routing.network.num_edges},)"
+        )
+    return array
 
 
 def utilization_percentiles(
     routing: Routing,
-    demand: Demand,
+    demand: Optional[Demand] = None,
     percentiles: Sequence[float] = (50.0, 90.0, 99.0, 100.0),
+    edge_congestions: Optional[Union[Mapping[Edge, float], np.ndarray]] = None,
+    backend: str = "dict",
 ) -> Dict[float, float]:
-    """Utilization percentiles across links (links with zero load included)."""
-    congestions = routing.edge_congestions(demand)
-    values = [congestions.get(edge, 0.0) for edge in routing.network.edges]
-    if not values:
+    """Utilization percentiles across links (links with zero load included).
+
+    Pass ``edge_congestions`` — either the dict returned by
+    :meth:`Routing.edge_congestions` or a per-edge array in network
+    edge-index order — to reuse an evaluation already in hand; otherwise
+    ``demand`` is evaluated through the selected backend.
+    """
+    if edge_congestions is None:
+        if demand is None:
+            raise ValueError("need either a demand or a precomputed edge_congestions")
+        edge_congestions = routing.evaluator(backend).edge_congestions(demand)
+    values = _utilization_array(routing, edge_congestions)
+    if not values.size:
         return {p: 0.0 for p in percentiles}
-    array = np.asarray(values, dtype=float)
-    return {p: float(np.percentile(array, p)) for p in percentiles}
+    return {p: float(np.percentile(values, p)) for p in percentiles}
 
 
-def throughput_at_capacity(routing: Routing, demand: Demand) -> float:
+def throughput_at_capacity(
+    routing: Routing,
+    demand: Optional[Demand] = None,
+    utilization: Optional[float] = None,
+    backend: str = "dict",
+) -> float:
     """The largest factor by which ``demand`` can be scaled before saturation.
 
     With max utilization ``u`` under the given (fractional, linear)
     routing, the demand can be scaled by ``1 / u`` before some link
     reaches 100% utilization.  Returns ``inf`` for zero utilization.
+    Pass ``utilization`` to reuse a congestion figure already computed.
     """
-    utilization = max_link_utilization(routing, demand)
+    if utilization is None:
+        if demand is None:
+            raise ValueError("need either a demand or a precomputed utilization")
+        utilization = max_link_utilization(routing, demand, backend=backend)
     if utilization <= 0:
         return float("inf")
     return 1.0 / utilization
 
 
-__all__ = ["max_link_utilization", "utilization_percentiles", "throughput_at_capacity"]
+def batch_link_utilizations(
+    routing: Routing,
+    demands: Sequence[Demand],
+    backend: str = "dict",
+) -> np.ndarray:
+    """Max link utilization per demand over one shared evaluation.
+
+    Like every metric in this module the default backend is ``dict``
+    (bit-exact vs the reference loops); pass ``backend="auto"`` or
+    ``"sparse"`` to evaluate the whole batch as a single sparse matmul —
+    the fast path for scenario grids and traffic-matrix series.
+    """
+    return routing.evaluator(backend).congestions(demands)
+
+
+def batch_edge_loads(
+    routing: Routing,
+    demands: Sequence[Demand],
+    backend: str = "dict",
+) -> np.ndarray:
+    """(batch × edge) raw edge-load array (network edge-index order).
+
+    Defaults to the bit-exact ``dict`` backend; opt into ``"auto"`` /
+    ``"sparse"`` for the single-matmul fast path.
+    """
+    return routing.evaluator(backend).edge_load_matrix(demands)
+
+
+__all__ = [
+    "max_link_utilization",
+    "utilization_percentiles",
+    "throughput_at_capacity",
+    "batch_link_utilizations",
+    "batch_edge_loads",
+]

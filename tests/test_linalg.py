@@ -1,0 +1,334 @@
+"""Unit tests for the compiled linear-algebra evaluation backend."""
+
+import numpy as np
+import pytest
+
+from repro.core.routing import Routing
+from repro.demands.demand import Demand
+from repro.demands.traffic_matrix import TrafficMatrixSeries
+from repro.engine import RoutingEngine
+from repro.exceptions import DemandError, LinalgError, RoutingError
+from repro.graphs import topologies
+from repro.graphs.network import Network
+from repro.linalg import (
+    CompiledRouting,
+    DictEvaluator,
+    SparseEvaluator,
+    available_backends,
+    build_evaluator,
+)
+from repro.linalg import _matrix
+from repro.linalg.bench import available_benches, run_bench, write_bench_artifact
+from repro.te.failures import FailureEvent
+from repro.te.metrics import (
+    batch_edge_loads,
+    batch_link_utilizations,
+    max_link_utilization,
+    throughput_at_capacity,
+    utilization_percentiles,
+)
+
+
+@pytest.fixture
+def square():
+    """A 4-cycle network with a two-path routing for the (0, 2) pair."""
+    network = Network.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)], name="square")
+    routing = Routing(
+        network,
+        {
+            (0, 2): {(0, 1, 2): 0.75, (0, 3, 2): 0.25},
+            (1, 3): {(1, 2, 3): 1.0},
+        },
+    )
+    return network, routing
+
+
+def test_compile_known_loads(square):
+    network, routing = square
+    compiled = CompiledRouting.from_routing(routing)
+    assert compiled.num_pairs == 2
+    assert compiled.num_paths == 3
+    assert compiled.num_edges == 4
+
+    demand = Demand({(0, 2): 4.0})
+    loads = compiled.edge_load_vector(demand)
+    by_edge = dict(zip(network.edges, loads))
+    assert by_edge[(0, 1)] == pytest.approx(3.0)
+    assert by_edge[(1, 2)] == pytest.approx(3.0)
+    assert by_edge[(2, 3)] == pytest.approx(1.0)
+    assert by_edge[(0, 3)] == pytest.approx(1.0)
+    assert compiled.congestion(demand) == pytest.approx(3.0)
+    assert compiled.dilation(demand) == 2
+
+
+def test_compiled_strictness_and_empty(square):
+    _, routing = square
+    compiled = CompiledRouting.from_routing(routing)
+    with pytest.raises(RoutingError):
+        compiled.congestion(Demand({(1, 0): 1.0}))
+    assert compiled.congestion(Demand.empty()) == 0.0
+    assert compiled.dilation(Demand.empty()) == 0
+    # drop mode ignores the unknown pair instead of raising
+    assert compiled.congestion(Demand({(1, 0): 1.0}), missing="drop") == 0.0
+
+
+def test_batch_matches_single(square):
+    _, routing = square
+    compiled = CompiledRouting.from_routing(routing)
+    demands = [Demand({(0, 2): 1.0}), Demand({(0, 2): 2.0, (1, 3): 1.0}), Demand.empty()]
+    batch = compiled.congestions(demands)
+    singles = [compiled.congestion(demand) for demand in demands]
+    assert np.allclose(batch, singles)
+    matrix = compiled.edge_load_matrix(demands)
+    for row, demand in enumerate(demands):
+        assert np.allclose(matrix[row], compiled.edge_load_vector(demand))
+    # pre-vectorized batch evaluates identically
+    assert np.allclose(compiled.congestions_from_matrix(compiled.demand_matrix(demands)), batch)
+
+
+def test_rebase_renormalizes_and_shares_arrays(square):
+    network, routing = square
+    compiled = CompiledRouting.from_routing(routing)
+    event = FailureEvent(failed_edges=((0, 1),), label="cut")
+    rebased = compiled.rebased(event)
+    assert rebased is compiled.rebased(event)  # memoized per event
+    assert rebased.incidence is compiled.incidence  # no recompilation
+
+    demand = Demand({(0, 2): 4.0})
+    # All mass moves to the surviving path 0-3-2.
+    loads = dict(zip(network.edges, rebased.edge_load_vector(demand)))
+    assert loads[(0, 3)] == pytest.approx(4.0)
+    assert loads[(2, 3)] == pytest.approx(4.0)
+    assert loads[(0, 1)] == pytest.approx(0.0)
+    assert rebased.coverage(demand) == 1.0
+    # (1, 3) lost nothing; the null event returns the same object.
+    assert compiled.rebased(FailureEvent()) is compiled
+
+
+def test_rebase_uncovered_pair_is_infinite(square):
+    _, routing = square
+    compiled = CompiledRouting.from_routing(routing)
+    event = FailureEvent(failed_edges=((1, 2), (2, 3)), label="isolate-2")
+    rebased = compiled.rebased(event)
+    demand = Demand({(0, 2): 1.0})
+    assert rebased.congestion(demand) == float("inf")
+    assert rebased.coverage(demand) == 0.0
+    assert not rebased.is_covered(0, 2)
+    batch = rebased.congestions([demand, Demand({(0, 2): 1.0, (1, 3): 1.0})])
+    assert np.isinf(batch).all()
+
+
+def test_rebase_capacity_scaling(square):
+    _, routing = square
+    compiled = CompiledRouting.from_routing(routing)
+    event = FailureEvent(capacity_scale=(((1, 2), 0.5),), label="brownout")
+    rebased = compiled.rebased(event)
+    demand = Demand({(0, 2): 1.0})
+    # Load on (1, 2) is 0.75 against capacity 0.5 -> congestion 1.5.
+    assert rebased.congestion(demand) == pytest.approx(1.5)
+    # Distributions unchanged: no path was removed.
+    assert rebased.dilation(demand) == compiled.dilation(demand)
+
+
+def test_rebase_rejects_invalid_capacity_scale(square):
+    from repro.exceptions import GraphError
+
+    _, routing = square
+    compiled = CompiledRouting.from_routing(routing)
+    for bad_scale in (0.0, -1.0, 1.5):
+        with pytest.raises(GraphError):
+            compiled.rebased(
+                FailureEvent(capacity_scale=(((1, 2), bad_scale),), label="bad")
+            )
+
+
+def test_suite_artifact_records_resolved_backend(monkeypatch):
+    from repro.scenarios import get_suite, run_suite
+
+    suite = get_suite("smoke")
+    assert run_suite(suite, backend="sparse").to_dict()["backend"] == "sparse"
+    monkeypatch.setattr(_matrix, "HAVE_SCIPY", False)
+    assert run_suite(suite, backend="sparse").to_dict()["backend"] == "dense"
+
+
+def test_unknown_backend_and_representation(square):
+    _, routing = square
+    with pytest.raises(LinalgError):
+        build_evaluator(routing, backend="turbo")
+    with pytest.raises(LinalgError):
+        CompiledRouting.from_routing(routing, representation="turbo")
+    assert set(available_backends()) == {"dict", "sparse", "dense"}
+
+
+def test_dense_fallback_without_scipy(square, monkeypatch):
+    _, routing = square
+    monkeypatch.setattr(_matrix, "HAVE_SCIPY", False)
+    evaluator = build_evaluator(routing, backend="sparse")
+    assert evaluator.backend == "dense"
+    demand = Demand({(0, 2): 4.0})
+    assert evaluator.congestion(demand) == pytest.approx(3.0)
+    rebased = evaluator.rebased(FailureEvent(failed_edges=((0, 1),), label="cut"))
+    assert rebased.congestion(demand) == pytest.approx(4.0)
+
+
+def test_dict_evaluator_memoizes_and_copies(square):
+    _, routing = square
+    evaluator = DictEvaluator(routing)
+    demand = Demand({(0, 2): 4.0})
+    first = evaluator.edge_congestions(demand)
+    first[(0, 1)] = -123.0  # mutating the returned dict must not poison the memo
+    second = evaluator.edge_congestions(demand)
+    assert second[(0, 1)] == pytest.approx(3.0)
+    assert evaluator.congestion(demand) == pytest.approx(3.0)
+
+
+def test_routing_evaluator_cached_and_invalidated(square):
+    network, routing = square
+    evaluator = routing.evaluator()
+    assert routing.evaluator() is evaluator
+    sparse = routing.evaluator("sparse")
+    assert routing.evaluator("sparse") is sparse
+    routing.set_distribution(0, 2, {(0, 1, 2): 1.0})
+    assert routing.evaluator() is not evaluator  # stale state dropped
+    assert routing.congestion(Demand({(0, 2): 1.0})) == pytest.approx(1.0)
+
+
+def test_standalone_evaluators_detect_routing_mutation(square):
+    _, routing = square
+    demand = Demand({(0, 2): 4.0})
+    dict_evaluator = build_evaluator(routing, "dict")
+    sparse_evaluator = build_evaluator(routing, "sparse")
+    assert dict_evaluator.congestion(demand) == pytest.approx(3.0)
+    assert sparse_evaluator.congestion(demand) == pytest.approx(3.0)
+    routing.set_distribution(0, 2, {(0, 1, 2): 1.0})
+    # The dict memo refreshes itself; the compiled snapshot refuses.
+    assert dict_evaluator.congestion(demand) == pytest.approx(4.0)
+    with pytest.raises(LinalgError):
+        sparse_evaluator.congestion(demand)
+    assert routing.evaluator("sparse").congestion(demand) == pytest.approx(4.0)
+
+
+def test_demand_vector_exports(square):
+    _, routing = square
+    compiled = CompiledRouting.from_routing(routing)
+    index = compiled.pair_index
+    demand = Demand({(0, 2): 2.0})
+    vector = demand.as_vector(index)
+    assert vector.shape == (2,)
+    assert vector[index[(0, 2)]] == pytest.approx(2.0)
+    with pytest.raises(DemandError):
+        Demand({(1, 0): 1.0}).as_vector(index)
+    assert Demand({(1, 0): 1.0}).as_vector(index, missing="drop").sum() == 0.0
+
+    series = TrafficMatrixSeries(snapshots=[demand, Demand.empty()])
+    matrix = series.as_matrix(index)
+    assert matrix.shape == (2, 2)
+    assert np.allclose(matrix[0], vector)
+    assert np.allclose(matrix[1], 0.0)
+    stacked = Demand.stack([demand, demand], index)
+    assert np.allclose(stacked[0], stacked[1])
+
+
+def test_metrics_accept_precomputed_and_backends(square):
+    _, routing = square
+    demand = Demand({(0, 2): 4.0})
+    utilization = max_link_utilization(routing, demand)
+    assert max_link_utilization(routing, demand, backend="sparse") == pytest.approx(utilization)
+
+    congestions = routing.edge_congestions(demand)
+    via_dict = utilization_percentiles(routing, demand)
+    via_precomputed = utilization_percentiles(routing, edge_congestions=congestions)
+    assert via_dict == via_precomputed
+    array = routing.evaluator("sparse").compiled.edge_load_vector(demand) / np.asarray(
+        [routing.network.capacity_of(edge) for edge in routing.network.edges]
+    )
+    via_array = utilization_percentiles(routing, edge_congestions=array)
+    for percentile, value in via_dict.items():
+        assert via_array[percentile] == pytest.approx(value)
+
+    assert throughput_at_capacity(routing, utilization=utilization) == pytest.approx(
+        throughput_at_capacity(routing, demand)
+    )
+    with pytest.raises(ValueError):
+        utilization_percentiles(routing)
+    with pytest.raises(ValueError):
+        throughput_at_capacity(routing)
+
+    demands = [demand, Demand({(1, 3): 2.0})]
+    batch = batch_link_utilizations(routing, demands)
+    assert np.allclose(batch, [routing.congestion(d) for d in demands])
+    loads = batch_edge_loads(routing, demands)
+    assert loads.shape == (2, routing.network.num_edges)
+
+
+def test_engine_backend_propagates_to_fixed_ratio():
+    network = topologies.hypercube(3)
+    engine = RoutingEngine(network, ["spf", "optimal"], rng=0, backend="sparse")
+    assert engine.backend == "sparse"
+    assert engine["spf"].backend == "sparse"
+    engine_default = RoutingEngine(network, ["spf"], rng=0)
+    assert engine_default["spf"].backend == "dict"
+
+
+def test_engine_backend_respects_more_specific_settings():
+    network = topologies.hypercube(3)
+    # An explicit spec-level backend wins over the engine-wide default...
+    engine = RoutingEngine(network, ["oblivious(racke, backend=sparse)"], rng=0, backend="dict")
+    assert engine["oblivious"].backend == "sparse"
+    # ...and a pre-built Router instance is never touched.
+    from repro.engine.adapters import FixedRatioRouter
+    from repro.oblivious.shortest_path import ShortestPathRouting
+
+    router = FixedRatioRouter(network, ShortestPathRouting(network), backend="dict")
+    engine = RoutingEngine(network, [router], rng=0, backend="sparse")
+    assert router.backend == "dict"
+
+
+def test_backend_choices_single_source():
+    from repro.linalg import BACKEND_CHOICES, BACKENDS
+
+    assert set(BACKEND_CHOICES) == set(BACKENDS) | {"auto"}
+    with pytest.raises(ValueError):
+        from repro.scenarios import get_suite, run_suite
+
+        run_suite(get_suite("smoke"), backend="turbo")
+
+
+def test_bench_smoke_schema(tmp_path):
+    assert "linalg" in available_benches()
+    payload = run_bench("linalg", scale="smoke", seed=0)
+    assert payload["schema"] == "repro-bench/v1"
+    assert payload["name"] == "linalg"
+    assert payload["network"]["n"] == 36
+    assert payload["workload"]["num_demands"] == 50
+    assert set(payload["backends"]) == {"dict", "sparse"}
+    for entry in payload["backends"].values():
+        assert entry["seconds"] > 0
+        assert entry["demands_per_sec"] > 0
+    assert payload["max_abs_difference"] <= 1e-9
+    # Non-full scales encode the scale in the filename, so they cannot
+    # clobber the committed full-scale BENCH_linalg.json baseline.
+    path = write_bench_artifact(payload, output_dir=str(tmp_path))
+    assert path.endswith("BENCH_linalg_smoke.json")
+    assert write_bench_artifact({**payload, "scale": "full"}, output_dir=str(tmp_path)).endswith(
+        "BENCH_linalg.json"
+    )
+    import json
+
+    with open(path, encoding="utf-8") as handle:
+        assert json.load(handle)["schema"] == "repro-bench/v1"
+    with pytest.raises(LinalgError):
+        run_bench("nope")
+    with pytest.raises(LinalgError):
+        run_bench("linalg", scale="galactic")
+
+
+def test_bench_cli_writes_artifact(tmp_path, capsys):
+    from repro.__main__ import main
+
+    assert main(["bench", "linalg", "--scale", "smoke", "--output-dir", str(tmp_path)]) == 0
+    assert (tmp_path / "BENCH_linalg_smoke.json").exists()
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert main(["bench", "list"]) == 0
+    assert main(["bench", "wat", "--output-dir", str(tmp_path)]) == 2

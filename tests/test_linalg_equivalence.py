@@ -1,0 +1,197 @@
+"""Randomized equivalence: dict vs compiled evaluators, within 1e-9.
+
+For random topologies, random multi-path routings and random demands —
+including zero amounts, pairs missing from the routing, and post-failure
+rebased systems — every backend must agree on edge loads, congestion and
+dilation within 1e-9 (bit-identity is not required: float summation
+order differs between the loop and matmul implementations).
+"""
+
+import itertools
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.routing import Routing
+from repro.demands.demand import Demand
+from repro.exceptions import RoutingError
+from repro.graphs import topologies
+from repro.graphs.generators import erdos_renyi_connected
+from repro.graphs.network import Network
+from repro.linalg import build_evaluator
+from repro.te.failures import FailureEvent, KEdgeFailureProcess
+
+TOL = 1e-9
+
+BACKENDS = ("sparse", "dense")
+
+
+def random_routing(network: Network, rng, pair_fraction=0.6, max_paths=3) -> Routing:
+    """A random multi-path routing over a random subset of ordered pairs."""
+    pairs = [
+        (u, v)
+        for u, v in itertools.permutations(network.vertices, 2)
+        if rng.random() < pair_fraction
+    ]
+    if not pairs:
+        pairs = [tuple(network.vertices[:2])]
+    distributions = {}
+    for source, target in pairs:
+        candidates = []
+        for path in nx.shortest_simple_paths(network.graph, source, target):
+            candidates.append(tuple(path))
+            if len(candidates) >= max_paths:
+                break
+        weights = rng.random(len(candidates)) + 0.05
+        # Randomly drop some candidates to vary support sizes.
+        keep = rng.random(len(candidates)) < 0.8
+        keep[0] = True
+        weights = np.where(keep, weights, 0.0)
+        total = weights.sum()
+        distributions[(source, target)] = {
+            path: float(weight / total)
+            for path, weight in zip(candidates, weights)
+            if weight > 0
+        }
+    return Routing(network, distributions)
+
+
+def random_demand(routing: Routing, rng, include_zero=True) -> Demand:
+    """A random demand over covered pairs (with explicit zero entries)."""
+    values = {}
+    for pair in routing.pairs():
+        draw = rng.random()
+        if draw < 0.4:
+            continue
+        if include_zero and draw < 0.5:
+            values[pair] = 0.0  # dropped by the constructor in every backend
+        else:
+            values[pair] = float(rng.random() * 5)
+    return Demand(values)
+
+
+def _topologies(rng):
+    yield topologies.hypercube(3)
+    yield topologies.torus_2d(3)
+    yield topologies.two_cliques_bridged(4, 2)
+    yield erdos_renyi_connected(10, 0.35, rng=rng)
+
+
+def test_backends_match_dict_on_random_instances():
+    rng = np.random.default_rng(7)
+    checked = 0
+    for trial, network in enumerate(_topologies(rng)):
+        routing = random_routing(network, rng)
+        reference = build_evaluator(routing, backend="dict")
+        evaluators = {backend: build_evaluator(routing, backend=backend) for backend in BACKENDS}
+        demands = [random_demand(routing, rng) for _ in range(6)] + [Demand.empty()]
+        ref_batch = reference.congestions(demands)
+        ref_loads = reference.edge_load_matrix(demands)
+        for backend, evaluator in evaluators.items():
+            assert np.allclose(evaluator.congestions(demands), ref_batch, atol=TOL, rtol=0)
+            assert np.allclose(evaluator.edge_load_matrix(demands), ref_loads, atol=TOL, rtol=0)
+            for demand in demands:
+                assert evaluator.congestion(demand) == pytest.approx(
+                    reference.congestion(demand), abs=TOL
+                )
+                assert evaluator.dilation(demand) == reference.dilation(demand)
+                ref_edges = reference.edge_congestions(demand)
+                got_edges = evaluator.edge_congestions(demand)
+                keys = set(ref_edges) | set(got_edges)
+                for key in keys:
+                    assert got_edges.get(key, 0.0) == pytest.approx(
+                        ref_edges.get(key, 0.0), abs=TOL
+                    )
+                checked += 1
+    assert checked > 50
+
+
+def test_missing_pairs_raise_in_every_backend():
+    rng = np.random.default_rng(11)
+    network = topologies.hypercube(3)
+    routing = random_routing(network, rng, pair_fraction=0.3)
+    covered = set(routing.pairs())
+    missing = next(
+        pair for pair in itertools.permutations(network.vertices, 2) if pair not in covered
+    )
+    demand = Demand({missing: 1.0})
+    for backend in ("dict",) + BACKENDS:
+        with pytest.raises(RoutingError):
+            build_evaluator(routing, backend=backend).congestion(demand)
+        with pytest.raises(RoutingError):
+            build_evaluator(routing, backend=backend).congestions([demand])
+
+
+def _dict_renormalized_congestion(routing: Routing, demand: Demand, event: FailureEvent):
+    """The scenario runner's fixed-ratio renormalization (reference)."""
+    banned = {frozenset(edge) for edge in event.failed_edges}
+    scales = {frozenset(edge): scale for edge, scale in event.capacity_scale}
+    weighted = []
+    pairs = demand.pairs()
+    covered = 0
+    for source, target in pairs:
+        if not routing.covers(source, target):
+            continue
+        surviving = {
+            path: probability
+            for path, probability in routing.distribution(source, target).items()
+            if not any(frozenset((u, v)) in banned for u, v in zip(path, path[1:]))
+        }
+        if not surviving:
+            continue
+        covered += 1
+        total = sum(surviving.values())
+        amount = demand.value(source, target)
+        for path, probability in surviving.items():
+            weighted.append((path, amount * probability / total))
+    coverage = covered / len(pairs) if pairs else 1.0
+    if pairs and covered < len(pairs):
+        return None, coverage
+    loads = routing.network.edge_loads(weighted)
+    worst = 0.0
+    for edge, load in loads.items():
+        if frozenset(edge) in banned:
+            continue
+        capacity = routing.network.capacity_of(edge) * scales.get(frozenset(edge), 1.0)
+        worst = max(worst, load / capacity)
+    return worst, coverage
+
+
+def test_rebased_systems_match_dict_renormalization():
+    rng = np.random.default_rng(23)
+    process = KEdgeFailureProcess(k=2)
+    for network in _topologies(rng):
+        routing = random_routing(network, rng)
+        for backend in BACKENDS:
+            evaluator = build_evaluator(routing, backend=backend)
+            for _ in range(3):
+                event = process.sample(network, rng)
+                rebased = evaluator.rebased(event)
+                for _ in range(3):
+                    demand = random_demand(routing, rng)
+                    expected, coverage = _dict_renormalized_congestion(routing, demand, event)
+                    assert rebased.coverage(demand) == pytest.approx(coverage, abs=TOL)
+                    got = rebased.congestion(demand)
+                    if expected is None:
+                        assert got == float("inf")
+                    else:
+                        assert got == pytest.approx(expected, abs=TOL)
+
+
+def test_rebased_capacity_degradation_matches():
+    rng = np.random.default_rng(31)
+    network = topologies.torus_2d(3)
+    routing = random_routing(network, rng)
+    edges = network.edges
+    event = FailureEvent(
+        capacity_scale=((edges[0], 0.5), (edges[3], 0.25)),
+        label="degrade",
+    )
+    for backend in BACKENDS:
+        rebased = build_evaluator(routing, backend=backend).rebased(event)
+        for _ in range(4):
+            demand = random_demand(routing, rng)
+            expected, coverage = _dict_renormalized_congestion(routing, demand, event)
+            assert coverage == 1.0
+            assert rebased.congestion(demand) == pytest.approx(expected, abs=TOL)

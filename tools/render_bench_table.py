@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Render the README performance table from BENCH_*.json artifacts.
+
+Usage::
+
+    python tools/render_bench_table.py [BENCH_linalg.json BENCH_rebase.json ...]
+
+With no arguments, reads every ``BENCH_*.json`` at the repository root.
+Prints a GitHub-flavored markdown table; paste the output into the
+"Evaluation backends" section of README.md after regenerating baselines
+with ``python -m repro bench --scale full``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_artifacts(paths):
+    artifacts = []
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("schema") != "repro-bench/v1":
+            raise SystemExit(f"{path}: unknown bench schema {payload.get('schema')!r}")
+        artifacts.append(payload)
+    return artifacts
+
+
+def render(artifacts) -> str:
+    lines = [
+        "| bench | topology | batch | dict | sparse | speedup |",
+        "|---|---|---|---|---|---|",
+    ]
+    for payload in artifacts:
+        network = payload["network"]
+        workload = payload["workload"]
+        dict_backend = payload["backends"]["dict"]
+        sparse_backend = payload["backends"]["sparse"]
+        batch = f"{workload['num_demands']} demands"
+        if "num_events" in workload:
+            batch += f" x {workload['num_events']} failures"
+        lines.append(
+            f"| `{payload['name']}` "
+            f"| {network['name']} (n={network['n']}, m={network['m']}) "
+            f"| {batch} "
+            f"| {dict_backend['seconds']:.2f} s "
+            f"| {sparse_backend['seconds']:.2f} s "
+            f"| **{payload['speedup_sparse_over_dict']:.1f}x** |"
+        )
+    return "\n".join(lines)
+
+
+def main(argv) -> int:
+    paths = argv or sorted(str(path) for path in REPO_ROOT.glob("BENCH_*.json"))
+    if not paths:
+        print("no BENCH_*.json artifacts found; run: python -m repro bench --scale full",
+              file=sys.stderr)
+        return 1
+    print(render(load_artifacts(paths)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
