@@ -1,0 +1,23 @@
+"""Benchmark the streaming incremental evaluation against per-step batch.
+
+Wraps the ``repro bench stream`` target at smoke scale so that
+``pytest benchmarks/ --benchmark-only`` exercises the same code path the
+CLI artifact flow uses; the committed full-scale baseline
+(``BENCH_stream.json`` at the repo root) is produced by
+``python -m repro bench stream --scale full``.
+"""
+
+from conftest import run_once
+
+from repro.stream.bench import bench_stream
+
+
+def test_bench_stream_smoke(benchmark, small_config):
+    payload = run_once(benchmark, lambda _config: bench_stream(scale="smoke", seed=0),
+                       small_config)
+    assert payload["schema"] == "repro-bench/v1"
+    assert payload["max_abs_difference"] <= 1e-9
+    print()
+    print(f"batch:       {payload['backends']['batch']['steps_per_sec']:.0f} steps/s")
+    print(f"incremental: {payload['backends']['incremental']['steps_per_sec']:.0f} steps/s "
+          f"({payload['speedup_incremental_over_batch']:.1f}x)")

@@ -76,8 +76,17 @@ from repro.scenarios import (
     get_suite,
     run_suite,
 )
+from repro.stream import (
+    DemandStream,
+    StreamComparison,
+    StreamRunResult,
+    build_policy,
+    build_stream,
+    run_stream,
+    run_stream_comparison,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Backwards-compatible alias: the pre-engine name for the sampled-paths
 #: pipeline object.  New code should build routers through the registry
@@ -132,4 +141,12 @@ __all__ = [
     "SuiteResult",
     "run_suite",
     "get_suite",
+    # Streaming traffic replay
+    "DemandStream",
+    "StreamRunResult",
+    "StreamComparison",
+    "build_stream",
+    "build_policy",
+    "run_stream",
+    "run_stream_comparison",
 ]

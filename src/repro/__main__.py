@@ -32,13 +32,29 @@ Subcommands
     rendering — or, with ``--json``, the artifact itself, which is
     bit-identical for any ``--workers`` value.
 
+``stream``
+    Streaming traffic replay: play a time-varying demand stream through
+    one scheme under online rerouting policies, evaluated incrementally
+    on the compiled backend::
+
+        python -m repro stream list
+        python -m repro stream describe random-walk
+        python -m repro stream run --topology torus:5 --stream flash-crowd \
+            --steps 96 --policy static --policy "periodic(k=16)" --optimal
+        python -m repro stream run --stream adversarial-shift --json
+
+    Seeded runs are bit-identical however often they are replayed (the
+    artifact carries no wall-clock fields).
+
 ``bench``
     Run registered benchmark targets and write schema-stable
-    ``BENCH_<name>.json`` artifacts comparing the ``dict`` and
-    ``sparse`` evaluation backends::
+    ``BENCH_<name>.json`` artifacts comparing a reference and a fast
+    evaluation path (``dict`` vs ``sparse``, per-step batch vs
+    incremental streaming)::
 
         python -m repro bench list
         python -m repro bench linalg --scale smoke
+        python -m repro bench stream --scale small
         python -m repro bench --scale full --output-dir .
 
 ``schemes``
@@ -256,10 +272,94 @@ def _cmd_scenarios_run(
     return 0
 
 
-def _cmd_bench_list() -> int:
-    from repro.linalg.bench import BENCH_TARGETS
+def _cmd_stream_list() -> int:
+    from repro.stream import policy_descriptions, stream_descriptions
 
-    for name in sorted(BENCH_TARGETS):
+    print("streams:")
+    for name, description in stream_descriptions().items():
+        print(f"  {name:18s} {description}")
+    print("policies:")
+    for name, description in policy_descriptions().items():
+        print(f"  {name:18s} {description}")
+    return 0
+
+
+def _cmd_stream_describe(name: str) -> int:
+    from repro.stream import policy_descriptions, stream_descriptions
+
+    streams = stream_descriptions()
+    policies = policy_descriptions()
+    if name in streams:
+        print(f"stream {name}: {streams[name]}")
+        return 0
+    if name in policies:
+        print(f"policy {name}: {policies[name]}")
+        return 0
+    print(
+        f"unknown stream or policy {name!r}; "
+        f"streams: {sorted(streams)}; policies: {sorted(policies)}",
+        file=sys.stderr,
+    )
+    return 2
+
+
+def _cmd_stream_run(
+    topology: str,
+    stream_kind: str,
+    steps: int,
+    policies: List[str],
+    scheme: str,
+    seed: int,
+    window: int,
+    threshold: float,
+    backend: str,
+    with_optimal: bool,
+    as_json: bool,
+    no_steps: bool,
+    output: Optional[str],
+) -> int:
+    from repro.engine import RoutingEngine
+    from repro.exceptions import ReproError
+    from repro.stream import build_stream
+
+    network = _build_te_network(topology, seed)
+    try:
+        stream = build_stream(stream_kind, network, num_steps=steps, seed=seed + 1)
+        engine = RoutingEngine(network, [scheme], rng=seed)
+        start = time.perf_counter()
+        report = engine.run_stream(
+            stream,
+            policies=policies or ["static"],
+            backend=backend,
+            window=window,
+            threshold=threshold,
+            with_optimal=with_optimal,
+            record_steps=not no_steps,
+        )
+        elapsed = time.perf_counter() - start
+    except ReproError as error:
+        print(f"stream run failed: {error}", file=sys.stderr)
+        return 2
+    # The artifact deliberately excludes wall time: seeded runs are
+    # bit-identical however often they are replayed.
+    artifact = report.to_json(include_steps=not no_steps)
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(artifact + "\n")
+        print(f"wrote stream artifact to {output}", file=sys.stderr)
+    if as_json:
+        print(artifact)
+    else:
+        print(report.render())
+        print(f"\n[{len(policies or ['static'])} policy replay(s) over "
+              f"{report.num_steps} steps, {elapsed:.1f}s]")
+    return 0
+
+
+def _cmd_bench_list() -> int:
+    from repro.linalg.bench import BENCH_TARGETS, available_benches
+
+    for name in available_benches():
         _, description = BENCH_TARGETS[name]
         print(f"{name:12s} {description}")
     return 0
@@ -291,13 +391,19 @@ def _cmd_bench(
         path = write_bench_artifact(payload, output_dir=output_dir)
         payloads.append(payload)
         if not as_json:
-            dict_backend = payload["backends"]["dict"]
-            fast_backend = payload["backends"]["sparse"]
-            speedup = payload.get("speedup_sparse_over_dict")
+            # Backends are ordered baseline-first in every payload; the
+            # speedup key varies per target ("speedup_<fast>_over_<base>").
+            timings = " ".join(
+                f"{key}={entry['seconds']:.4f}s"
+                for key, entry in payload["backends"].items()
+            )
+            speedup = next(
+                (value for key, value in payload.items() if key.startswith("speedup_")),
+                None,
+            )
+            speedup_text = f"{speedup:.1f}x" if speedup else "n/a"
             print(f"{name}: n={payload['network']['n']} m={payload['network']['m']} "
-                  f"dict={dict_backend['seconds']:.3f}s "
-                  f"sparse={fast_backend['seconds']:.4f}s "
-                  f"speedup={speedup:.1f}x "
+                  f"{timings} speedup={speedup_text} "
                   f"max|diff|={payload['max_abs_difference']:.2e}")
             print(f"  wrote {path}", file=sys.stderr)
     if as_json:
@@ -371,6 +477,40 @@ def main(argv: Optional[List[str]] = None) -> int:
                             help="evaluation backend for fixed-ratio schemes "
                                  "(dict reproduces reference artifacts bit for bit)")
 
+    stream_parser = subparsers.add_parser(
+        "stream", help="streaming traffic replay with online rerouting policies"
+    )
+    stream_sub = stream_parser.add_subparsers(dest="stream_command", required=True)
+    stream_sub.add_parser("list", help="list the registered streams and policies")
+    stream_describe = stream_sub.add_parser("describe", help="describe one stream or policy")
+    stream_describe.add_argument("name", help="stream or policy name (see 'stream list')")
+    stream_run = stream_sub.add_parser("run", help="replay a stream and print the policy table")
+    stream_run.add_argument("--topology", default="torus:5",
+                            help="hypercube:K, torus:K, expander:N or waxman:N (default torus:5)")
+    stream_run.add_argument("--stream", default="random-walk", dest="stream_kind",
+                            help="stream kind (see 'stream list'; default random-walk)")
+    stream_run.add_argument("--steps", type=int, default=64,
+                            help="number of timesteps (default 64)")
+    stream_run.add_argument("--policy", action="append", default=[], dest="policies",
+                            help="rerouting policy spec, repeatable (default: static)")
+    stream_run.add_argument("--scheme", default="spf",
+                            help="scheme spec routed through (default spf)")
+    stream_run.add_argument("--seed", type=int, default=0)
+    stream_run.add_argument("--window", type=int, default=16,
+                            help="rolling metric window in steps (default 16)")
+    stream_run.add_argument("--threshold", type=float, default=1.0,
+                            help="overload utilization threshold (default 1.0)")
+    stream_run.add_argument("--backend", choices=("auto", "sparse", "dense"), default="auto",
+                            help="compiled evaluation representation (default auto)")
+    stream_run.add_argument("--optimal", action="store_true",
+                            help="normalize each step by the per-step optimal MCF (needs LP)")
+    stream_run.add_argument("--json", action="store_true",
+                            help="print the JSON artifact instead of the table")
+    stream_run.add_argument("--no-steps", action="store_true",
+                            help="omit per-step records from the artifact (summaries only)")
+    stream_run.add_argument("--output", default=None,
+                            help="also write the JSON artifact to this path")
+
     bench_parser = subparsers.add_parser(
         "bench", help="run benchmark targets and write BENCH_<name>.json artifacts"
     )
@@ -406,6 +546,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_scenarios_run(
                 args.suite, args.workers, args.seed, args.snapshots, args.json, args.output,
                 backend=args.backend,
+            )
+        return 2
+    if args.command == "stream":
+        if args.stream_command == "list":
+            return _cmd_stream_list()
+        if args.stream_command == "describe":
+            return _cmd_stream_describe(args.name)
+        if args.stream_command == "run":
+            return _cmd_stream_run(
+                args.topology, args.stream_kind, args.steps, args.policies, args.scheme,
+                args.seed, args.window, args.threshold, args.backend, args.optimal,
+                args.json, args.no_steps, args.output,
             )
         return 2
     if args.command == "bench":

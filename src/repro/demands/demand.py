@@ -273,10 +273,21 @@ class Demand:
         ``pair_index``.  This is the dense export consumed by the
         batched evaluators; the compiled backend builds the same matrix
         sparsely via ``CompiledRouting.demand_matrix``.
+
+        An empty batch raises :class:`DemandError` — a (0 × pair)
+        array would only defer the failure to whichever numpy reduction
+        consumes it, with a far less useful message.
         """
         import numpy as np
 
+        demands = list(demands)
+        if not demands:
+            raise DemandError(
+                "cannot stack an empty demand batch; pass at least one demand"
+            )
         length = len(pair_index) if size is None else int(size)
+        if length < 0:
+            raise DemandError(f"demand matrix width must be nonnegative, got {length}")
         matrix = np.zeros((len(demands), length), dtype=float)
         for row, demand in enumerate(demands):
             matrix[row, :] = demand.as_vector(pair_index, size=length, missing=missing)

@@ -57,7 +57,13 @@ class TrafficMatrixSeries:
         batch input of the compiled evaluation backend
         (:mod:`repro.linalg`): edge loads for the whole series are then
         a single matmul against the compiled pair × edge operator.
+
+        An empty series raises :class:`~repro.exceptions.DemandError`
+        (same contract as :meth:`peak`) rather than surfacing a bare
+        numpy failure from a zero-row reduction downstream.
         """
+        if not self.snapshots:
+            raise DemandError("empty traffic matrix series has no matrix form")
         return Demand.stack(self.snapshots, pair_index, size=size, missing=missing)
 
 

@@ -315,6 +315,79 @@ class RoutingEngine:
         return report
 
     # ------------------------------------------------------------------ #
+    # Streaming replay
+    # ------------------------------------------------------------------ #
+    def run_stream(
+        self,
+        stream,
+        policies: Union[str, Sequence[str]] = "static",
+        label: Optional[str] = None,
+        backend: Optional[str] = None,
+        window: int = 16,
+        threshold: float = 1.0,
+        with_optimal: bool = False,
+        record_steps: bool = True,
+    ):
+        """Replay a demand stream through one scheme under rerouting policies.
+
+        The temporal entry point of the engine (see :mod:`repro.stream`):
+        the chosen scheme's routing is compiled once per policy re-solve
+        and every timestep in between is evaluated *incrementally* from
+        the stream's delta.  ``policies`` may be a single spec string
+        (returns a :class:`~repro.stream.runner.StreamRunResult`) or a
+        sequence of specs (returns a
+        :class:`~repro.stream.runner.StreamComparison` in which every
+        policy replays bit-identical updates).  ``label`` picks the
+        scheme (default: the first registered one); ``backend`` the
+        compiled representation (default: the engine backend, else
+        ``"auto"``).  With ``with_optimal`` each step is normalized by
+        the per-snapshot optimal MCF congestion — solved through the
+        engine's memoized solver, so repeated snapshots are free.
+        """
+        from repro.stream.runner import run_stream, run_stream_comparison
+
+        self._ensure_installed()
+        if label is None:
+            labels = self.labels()
+            if not labels:
+                raise SchemeError("engine has no schemes to stream through")
+            label = labels[0]
+        router = self[label]
+        resolved_backend = backend if backend is not None else (self._backend or "auto")
+        if resolved_backend == "dict":
+            resolved_backend = "auto"  # streaming has no dict form; pick compiled
+        optimal = self.optimal_congestion if with_optimal else None
+
+        from repro.linalg._matrix import HAVE_SCIPY
+
+        optimal_routing = None
+        if HAVE_SCIPY:
+            def optimal_routing(demand):
+                # One LP serves both consumers: the policy needs the
+                # routing, the ratio normalization needs the congestion —
+                # prime the engine's memoized solver so ``optimal(demand)``
+                # right after a re-solve is a cache hit, not a second LP.
+                from repro.mcf.lp import min_congestion_lp
+
+                result = min_congestion_lp(self._network, demand, return_routing=True)
+                self._context.optimal_solver.prime(demand, result.congestion)
+                return result.routing
+
+        common = dict(
+            backend=resolved_backend,
+            window=window,
+            threshold=threshold,
+            optimal=optimal,
+            optimal_routing=optimal_routing,
+            record_steps=record_steps,
+        )
+        if isinstance(policies, str):
+            return run_stream(self._network, stream, router, policy=policies, **common)
+        return run_stream_comparison(
+            self._network, stream, router, policies=list(policies), **common
+        )
+
+    # ------------------------------------------------------------------ #
     # Scenario sweeps
     # ------------------------------------------------------------------ #
     @staticmethod

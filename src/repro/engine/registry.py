@@ -75,6 +75,16 @@ class MemoizedOptimalSolver:
             self._cache[demand] = min_congestion_lp(self._network, demand).congestion
         return self._cache[demand]
 
+    def prime(self, demand: Demand, congestion: float) -> None:
+        """Seed the memo with an optimum computed elsewhere.
+
+        Callers that already solved the MCF for ``demand`` (e.g. a
+        rerouting policy solving with ``return_routing=True``) register
+        the congestion here so a later ``__call__`` is a cache hit, not
+        a second LP.  Does not bump ``num_solves``.
+        """
+        self._cache[demand] = float(congestion)
+
     def clear(self) -> None:
         self._cache.clear()
 

@@ -59,6 +59,18 @@ class LinalgError(ReproError):
     """
 
 
+class StreamError(ReproError):
+    """Raised when the streaming traffic-replay subsystem is misused.
+
+    Examples include unknown stream or policy names, malformed policy
+    specs, non-positive step counts, and rerouting policies that need
+    the LP solver on an install without one.  (A routing that stops
+    covering a streamed pair is *not* an error: the runner treats it as
+    a forced re-solve so controllers keep running through demand
+    shifts.)
+    """
+
+
 class InfeasibleError(SolverError):
     """Raised when a routing/flow problem has no feasible solution.
 

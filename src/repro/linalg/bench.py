@@ -34,7 +34,6 @@ README performance table, CI artifact diffing) can rely on them.
 from __future__ import annotations
 
 import platform
-import time
 from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -49,6 +48,7 @@ from repro.linalg.evaluator import DictEvaluator, SparseEvaluator, build_evaluat
 from repro.te.failures import KEdgeFailureProcess
 from repro.utils.rng import ensure_rng
 from repro.utils.serialization import dumps as json_dumps
+from repro.utils.timing import Stopwatch
 
 BENCH_SCHEMA = "repro-bench/v1"
 
@@ -87,7 +87,8 @@ def _workload(scale: str, seed: int):
     return network, routing, demands
 
 
-def _environment() -> Dict[str, Any]:
+def environment_info() -> Dict[str, Any]:
+    """The ``environment`` block shared by every bench artifact."""
     try:
         import scipy
 
@@ -112,16 +113,16 @@ def bench_linalg(scale: str = "small", seed: int = 0) -> Dict[str, Any]:
     network, routing, demands = _workload(scale, seed)
 
     dict_evaluator = DictEvaluator(routing, cache_size=1)
-    start = time.perf_counter()
-    dict_congestions = dict_evaluator.congestions(demands)
-    dict_seconds = time.perf_counter() - start
+    with Stopwatch() as dict_watch:
+        dict_congestions = dict_evaluator.congestions(demands)
+    dict_seconds = dict_watch.elapsed
 
-    start = time.perf_counter()
-    sparse_evaluator = build_evaluator(routing, backend="sparse")
-    compile_seconds = time.perf_counter() - start
-    start = time.perf_counter()
-    sparse_congestions = sparse_evaluator.congestions(demands)
-    sparse_seconds = time.perf_counter() - start
+    with Stopwatch() as compile_watch:
+        sparse_evaluator = build_evaluator(routing, backend="sparse")
+    compile_seconds = compile_watch.elapsed
+    with Stopwatch() as sparse_watch:
+        sparse_congestions = sparse_evaluator.congestions(demands)
+    sparse_seconds = sparse_watch.elapsed
 
     max_diff = float(np.max(np.abs(dict_congestions - sparse_congestions), initial=0.0))
     return {
@@ -150,7 +151,7 @@ def bench_linalg(scale: str = "small", seed: int = 0) -> Dict[str, Any]:
         },
         "speedup_sparse_over_dict": dict_seconds / sparse_seconds if sparse_seconds > 0 else None,
         "max_abs_difference": max_diff,
-        "environment": _environment(),
+        "environment": environment_info(),
     }
 
 
@@ -187,24 +188,24 @@ def bench_rebase(scale: str = "small", seed: int = 0) -> Dict[str, Any]:
             self.routing = fixed_routing
 
     stand_in = _FixedRatioStandIn(routing)
-    start = time.perf_counter()
     dict_results: List[float] = []
-    for event in events:
-        degraded = apply_failure(network, event)
-        for demand in demands:
-            congestion, _coverage = _route_fixed_ratio_degraded(stand_in, demand, degraded)
-            dict_results.append(float("inf") if congestion is None else congestion)
-    dict_seconds = time.perf_counter() - start
+    with Stopwatch() as dict_watch:
+        for event in events:
+            degraded = apply_failure(network, event)
+            for demand in demands:
+                congestion, _coverage = _route_fixed_ratio_degraded(stand_in, demand, degraded)
+                dict_results.append(float("inf") if congestion is None else congestion)
+    dict_seconds = dict_watch.elapsed
 
     sparse_evaluator = build_evaluator(routing, backend="sparse")
-    start = time.perf_counter()
-    # The pair index is shared across rebases: vectorize the batch once.
-    batch = sparse_evaluator.demand_matrix(demands)
     sparse_results: List[float] = []
-    for event in events:
-        rebased = sparse_evaluator.rebased(event)
-        sparse_results.extend(rebased.congestions_from_matrix(batch).tolist())
-    sparse_seconds = time.perf_counter() - start
+    with Stopwatch() as sparse_watch:
+        # The pair index is shared across rebases: vectorize the batch once.
+        batch = sparse_evaluator.demand_matrix(demands)
+        for event in events:
+            rebased = sparse_evaluator.rebased(event)
+            sparse_results.extend(rebased.congestions_from_matrix(batch).tolist())
+    sparse_seconds = sparse_watch.elapsed
 
     finite = [
         abs(a - b)
@@ -249,23 +250,51 @@ def bench_rebase(scale: str = "small", seed: int = 0) -> Dict[str, Any]:
         "speedup_sparse_over_dict": dict_seconds / sparse_seconds if sparse_seconds > 0 else None,
         "max_abs_difference": max_diff,
         "finiteness_mismatches": finiteness_mismatches,
-        "environment": _environment(),
+        "environment": environment_info(),
     }
 
 
-#: name -> (runner, one-line description).
+#: name -> (runner, one-line description).  Extended at import time by
+#: higher layers through :func:`register_bench` (the streaming layer
+#: registers ``stream``); :func:`_ensure_registered` pulls those layers
+#: in lazily so ``repro bench`` always sees the full target list without
+#: this module importing upward eagerly.
 BENCH_TARGETS: Dict[str, Tuple[Callable[..., Dict[str, Any]], str]] = {
     "linalg": (bench_linalg, "batched demand evaluation: dict loops vs sparse matmul"),
     "rebase": (bench_rebase, "post-failure evaluation: renormalize loops vs compiled rebase"),
 }
 
+#: Modules above linalg that register bench targets on import.
+_EXTERNAL_BENCH_MODULES = ("repro.stream.bench",)
+
+
+def register_bench(
+    name: str,
+    runner: Callable[..., Dict[str, Any]],
+    description: str,
+    overwrite: bool = False,
+) -> None:
+    """Register a bench target (``runner(scale=..., seed=...) -> payload``)."""
+    if name in BENCH_TARGETS and not overwrite:
+        raise LinalgError(f"bench target {name!r} is already registered (pass overwrite=True)")
+    BENCH_TARGETS[name] = (runner, description)
+
+
+def _ensure_registered() -> None:
+    import importlib
+
+    for module in _EXTERNAL_BENCH_MODULES:
+        importlib.import_module(module)
+
 
 def available_benches() -> List[str]:
+    _ensure_registered()
     return sorted(BENCH_TARGETS)
 
 
 def run_bench(name: str, scale: str = "small", seed: int = 0) -> Dict[str, Any]:
     """Run one registered bench target and return its artifact payload."""
+    _ensure_registered()
     if name not in BENCH_TARGETS:
         raise LinalgError(f"unknown bench target {name!r}; available: {available_benches()}")
     if scale not in SCALES:
@@ -301,6 +330,8 @@ __all__ = [
     "available_benches",
     "bench_linalg",
     "bench_rebase",
+    "environment_info",
+    "register_bench",
     "run_bench",
     "write_bench_artifact",
 ]

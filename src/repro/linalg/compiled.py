@@ -312,6 +312,16 @@ class CompiledRouting:
             return False
         return bool(np.any(vector[~self._covered] > 0))
 
+    def uncovered_demand(self, vector: np.ndarray) -> bool:
+        """True when ``vector`` puts positive demand on an uncovered pair.
+
+        The public twin of the internal coverage check, for callers that
+        maintain their own demand vectors over this compiled pair index
+        (the streaming layer's incremental evaluator): such a demand has
+        infinite congestion by convention.
+        """
+        return self._has_uncovered(vector)
+
     # ------------------------------------------------------------------ #
     # Evaluation: one demand
     # ------------------------------------------------------------------ #

@@ -180,6 +180,27 @@ def _series_adversarial(network: Network, snapshots: int, rng, params: Dict[str,
     return constant_series(demand, snapshots)
 
 
+def _series_from_stream(kind: str) -> Callable[..., TrafficMatrixSeries]:
+    """A demand-axis factory backed by a registered demand stream.
+
+    The stream axis of the grid: each cell materializes ``snapshots``
+    steps of the named :mod:`repro.stream` source into an ordinary
+    traffic-matrix series (the runner's batch loop consumes snapshots;
+    deltas matter only on the streaming path).  Randomness is consumed
+    from the runner-passed generator, so stream-backed cells obey the
+    same replay-the-healthy-baseline seeding as every other demand kind.
+    """
+
+    def factory(
+        network: Network, snapshots: int, rng, params: Dict[str, Any]
+    ) -> TrafficMatrixSeries:
+        from repro.stream.sources import build_stream
+
+        return build_stream(kind, network, num_steps=snapshots, seed=rng, **params).as_series()
+
+    return factory
+
+
 _DEMAND_KINDS: Dict[str, Callable[..., TrafficMatrixSeries]] = {
     "gravity": _series_gravity,
     "diurnal": _series_diurnal,
@@ -187,6 +208,10 @@ _DEMAND_KINDS: Dict[str, Callable[..., TrafficMatrixSeries]] = {
     "bisection": _series_bisection,
     "uniform": _series_uniform,
     "adversarial": _series_adversarial,
+    # The stream axis: time-correlated demand sequences from repro.stream.
+    "random-walk": _series_from_stream("random-walk"),
+    "flash-crowd": _series_from_stream("flash-crowd"),
+    "adversarial-shift": _series_from_stream("adversarial-shift"),
 }
 
 
@@ -486,10 +511,29 @@ def _suite_diurnal() -> ScenarioSuite:
     )
 
 
+def _suite_streaming() -> ScenarioSuite:
+    return ScenarioSuite(
+        name="streaming",
+        description="stream axis: time-correlated demand sequences "
+        "(random-walk drift, flash crowds, adversarial shifts)",
+        topologies=[TopologySpec("torus", 4), TopologySpec("hypercube", 3)],
+        demands=[
+            DemandSpec("random-walk", params=(("num_pairs", 24),)),
+            DemandSpec("flash-crowd", params=(("num_pairs", 24),)),
+            DemandSpec("adversarial-shift", params=(("shift_every", 2),)),
+        ],
+        failures=[FailureSpec("none"), FailureSpec("k-edge", params=(("k", 1),))],
+        schemes=("semi-oblivious(racke, alpha=4)", "spf"),
+        num_snapshots=4,
+        seed=0,
+    )
+
+
 _BUILTIN_SUITES: Dict[str, Callable[[], ScenarioSuite]] = {
     "smoke": _suite_smoke,
     "failures": _suite_failures,
     "diurnal": _suite_diurnal,
+    "streaming": _suite_streaming,
 }
 
 

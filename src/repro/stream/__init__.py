@@ -1,0 +1,80 @@
+"""Streaming traffic replay: demand streams, incremental evaluation,
+online rerouting policies.
+
+The temporal layer of the evaluation stack.  Batch evaluation
+(:mod:`repro.linalg`) answers "how congested is this snapshot?"; this
+package answers "how does a routing *hold up* as demand drifts" —
+playing time-series demand streams through a scheme, evaluating each
+step incrementally on one compiled operator, and letting a rerouting
+policy decide when forwarding state is re-optimized::
+
+    from repro.stream import RandomWalkStream, run_stream_comparison
+
+    stream = RandomWalkStream(network, num_steps=200, seed=0)
+    report = run_stream_comparison(
+        network, stream, router, policies=["static", "periodic(k=20)"]
+    )
+    print(report.render())
+
+See ``docs/ARCHITECTURE.md`` ("Streaming layer") for the contracts.
+"""
+
+from repro.stream.incremental import IncrementalStreamEvaluator
+from repro.stream.metrics import RollingStreamStats
+from repro.stream.policies import (
+    PeriodicPolicy,
+    PolicyContext,
+    SemiObliviousPolicy,
+    StaticPolicy,
+    StreamPolicy,
+    ThresholdPolicy,
+    available_policies,
+    build_policy,
+    policy_descriptions,
+)
+from repro.stream.runner import (
+    StreamComparison,
+    StreamRunResult,
+    run_stream,
+    run_stream_comparison,
+)
+from repro.stream.sources import (
+    AdversarialShiftStream,
+    DemandStream,
+    DiurnalStream,
+    FlashCrowdStream,
+    RandomWalkStream,
+    ReplayStream,
+    StreamUpdate,
+    available_streams,
+    build_stream,
+    stream_descriptions,
+)
+
+__all__ = [
+    "AdversarialShiftStream",
+    "DemandStream",
+    "DiurnalStream",
+    "FlashCrowdStream",
+    "IncrementalStreamEvaluator",
+    "PeriodicPolicy",
+    "PolicyContext",
+    "RandomWalkStream",
+    "ReplayStream",
+    "RollingStreamStats",
+    "SemiObliviousPolicy",
+    "StaticPolicy",
+    "StreamComparison",
+    "StreamPolicy",
+    "StreamRunResult",
+    "StreamUpdate",
+    "ThresholdPolicy",
+    "available_policies",
+    "available_streams",
+    "build_policy",
+    "build_stream",
+    "policy_descriptions",
+    "run_stream",
+    "run_stream_comparison",
+    "stream_descriptions",
+]

@@ -1,0 +1,116 @@
+"""Streaming reductions: rolling-window congestion statistics.
+
+Batch metrics (:mod:`repro.te.metrics`) reduce a complete edge-load
+array; a stream produces one utilization array per timestep and must
+aggregate *as it goes*.  :class:`RollingStreamStats` is that streaming
+reduction: it consumes one per-step observation at a time, keeps a
+bounded window of recent congestion values, and maintains O(1) running
+aggregates — no per-step history is retained unless the caller keeps
+the returned records.
+
+Per step it reports max utilization (the congestion), p95/p99 edge
+utilization, the windowed maximum congestion, and whether the step
+exceeded the utilization threshold; the final :meth:`summary` adds the
+cumulative/mean/peak congestion and the fraction of time spent above
+the threshold.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import StreamError
+
+#: Edge-utilization percentiles reported per step.
+PERCENTILES = (95.0, 99.0)
+
+
+class RollingStreamStats:
+    """Rolling-window congestion statistics over a metric stream.
+
+    Parameters
+    ----------
+    window:
+        Number of recent steps the windowed maximum covers.
+    threshold:
+        Utilization level defining "overloaded": steps whose congestion
+        strictly exceeds it count toward ``time_above_threshold``.
+    """
+
+    def __init__(self, window: int = 16, threshold: float = 1.0) -> None:
+        if window < 1:
+            raise StreamError(f"rolling window must cover at least one step, got {window}")
+        if threshold <= 0:
+            raise StreamError(f"utilization threshold must be positive, got {threshold}")
+        self.window = int(window)
+        self.threshold = float(threshold)
+        self._recent: Deque[float] = deque(maxlen=self.window)
+        self._steps = 0
+        self._above = 0
+        self._cumulative = 0.0
+        self._peak = 0.0
+
+    @property
+    def num_steps(self) -> int:
+        return self._steps
+
+    def observe(
+        self,
+        congestion: float,
+        utilizations: Optional[np.ndarray] = None,
+    ) -> Dict[str, Any]:
+        """Absorb one step; returns the step's metric record.
+
+        ``congestion`` is the step's max utilization (may be ``inf``
+        when coverage was lost); ``utilizations`` is the per-edge
+        utilization array used for the percentile figures (omitted →
+        percentiles are reported as the congestion itself, the only
+        consistent degenerate value).
+        """
+        congestion = float(congestion)
+        self._recent.append(congestion)
+        self._steps += 1
+        self._cumulative += congestion
+        self._peak = max(self._peak, congestion)
+        above = congestion > self.threshold
+        if above:
+            self._above += 1
+        if utilizations is not None and np.size(utilizations):
+            percentiles = np.percentile(np.asarray(utilizations, dtype=float), PERCENTILES)
+        else:
+            percentiles = [congestion for _ in PERCENTILES]
+        record: Dict[str, Any] = {
+            "step": self._steps - 1,
+            "congestion": congestion,
+            "windowed_max_congestion": max(self._recent),
+            "above_threshold": bool(above),
+        }
+        for level, value in zip(PERCENTILES, percentiles):
+            record[f"p{level:g}_utilization"] = float(value)
+        return record
+
+    def summary(self) -> Dict[str, Any]:
+        """Aggregates over every observed step (streaming; O(1) state)."""
+        steps = self._steps
+        return {
+            "num_steps": steps,
+            "window": self.window,
+            "threshold": self.threshold,
+            "cumulative_congestion": self._cumulative,
+            "mean_congestion": self._cumulative / steps if steps else 0.0,
+            "peak_congestion": self._peak,
+            "time_above_threshold": self._above / steps if steps else 0.0,
+            "windowed_max_congestion": max(self._recent) if self._recent else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RollingStreamStats(window={self.window}, threshold={self.threshold}, "
+            f"steps={self._steps})"
+        )
+
+
+__all__ = ["RollingStreamStats", "PERCENTILES"]

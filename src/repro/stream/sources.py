@@ -1,0 +1,520 @@
+"""Demand streams: time-ordered demand sequences with explicit deltas.
+
+A *stream* is the temporal analogue of a demand batch: instead of a
+static snapshot list, it yields :class:`StreamUpdate` records — the
+demand at each timestep **plus the set of pairs whose value changed**
+since the previous step.  The delta is what makes incremental compiled
+evaluation (:mod:`repro.stream.incremental`) cheap: a timestep that
+perturbs 2% of the pairs only touches 2% of the rows of the pair × edge
+operator.
+
+Determinism contract
+--------------------
+
+Every generator-backed stream derives all randomness from its ``seed``
+through :class:`numpy.random.SeedSequence` with a fixed module salt
+(:func:`stream_rng`), and consumes it **only** inside ``updates()`` in
+step order.  Two streams built with equal parameters therefore produce
+bit-identical update sequences, however many times they are replayed —
+``updates()`` restarts the sequence from scratch on every call.
+
+Sources
+-------
+
+* :class:`DiurnalStream` — sinusoidal day/night modulation of a gravity
+  base matrix with per-pair jitter (every pair changes every step; the
+  dense extreme of the delta spectrum),
+* :class:`RandomWalkStream` — multiplicative random-walk drift touching
+  a ``churn`` fraction of a fixed support per step (the sparse-delta
+  workload behind ``repro bench stream``),
+* :class:`FlashCrowdStream` — a static base with rectangular flash-crowd
+  bursts arriving at random and decaying after a fixed duration,
+* :class:`AdversarialShiftStream` — worst-of-k SPF stress permutations
+  that jump to a fresh permutation every ``shift_every`` steps
+  (constant in between; the workload that breaks install-once MCF),
+* :class:`ReplayStream` — replays any
+  :class:`~repro.demands.traffic_matrix.TrafficMatrixSeries`, diffing
+  consecutive snapshots to recover deltas.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.demands.demand import Demand, Pair
+from repro.demands.traffic_matrix import TrafficMatrixSeries
+from repro.exceptions import StreamError
+from repro.graphs.network import Network
+from repro.utils.rng import RngLike
+
+#: Module salt for :func:`stream_rng`: keeps stream randomness disjoint
+#: from the scenario runner's ``(seed, stream, index)`` derivations even
+#: when both are keyed off the same integer seed.
+_STREAM_SALT = 0x57AE
+
+
+def stream_rng(seed: RngLike, *tags: int) -> np.random.Generator:
+    """The canonical SeedSequence-derived generator of a stream.
+
+    ``seed`` may be an integer (derived through
+    ``SeedSequence([_STREAM_SALT, seed, *tags])``), an existing
+    ``Generator`` (used as-is — the caller owns determinism), or
+    ``None`` (fresh entropy).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng()
+    return np.random.default_rng(
+        np.random.SeedSequence([_STREAM_SALT, int(seed), *[int(tag) for tag in tags]])
+    )
+
+
+@dataclass(frozen=True)
+class StreamUpdate:
+    """One timestep of a demand stream.
+
+    Attributes
+    ----------
+    step:
+        0-based timestep index.
+    demand:
+        The full demand snapshot at this step.
+    delta:
+        Mapping ``pair -> new value`` covering (at least) every pair
+        whose value differs from the previous step; pairs leaving the
+        support appear with value ``0.0``.  ``None`` means the changed
+        set is unknown and consumers must diff the snapshot themselves.
+    """
+
+    step: int
+    demand: Demand
+    delta: Optional[Mapping[Pair, float]] = None
+
+
+@runtime_checkable
+class DemandStream(Protocol):
+    """Structural interface of a demand stream.
+
+    Anything with a ``name``, a ``num_steps`` and an ``updates()``
+    iterator of :class:`StreamUpdate` is a stream — replaying the same
+    stream object twice must yield identical updates.
+    """
+
+    name: str
+    num_steps: int
+
+    def updates(self) -> Iterator[StreamUpdate]: ...
+
+
+class _StreamBase:
+    """Shared plumbing: iteration, materialization, series export."""
+
+    name: str = "stream"
+
+    def __init__(self, network: Network, num_steps: int, seed: RngLike = None) -> None:
+        if num_steps < 1:
+            raise StreamError(f"a stream needs at least one step, got {num_steps}")
+        self._network = network
+        self.num_steps = int(num_steps)
+        self._seed = seed
+
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    def updates(self) -> Iterator[StreamUpdate]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Demand]:
+        return (update.demand for update in self.updates())
+
+    def __len__(self) -> int:
+        return self.num_steps
+
+    def materialize(self) -> List[StreamUpdate]:
+        """The full update sequence as a list (replayable across policies)."""
+        return list(self.updates())
+
+    def as_series(self, period_minutes: float = 15.0) -> TrafficMatrixSeries:
+        """Collapse the stream into a plain traffic-matrix series.
+
+        This is the bridge into the batch world: scenario grids and
+        ``evaluate_matrix_series`` consume the stream as an ordinary
+        snapshot sequence (deltas are dropped).
+        """
+        return TrafficMatrixSeries(
+            snapshots=[update.demand for update in self.updates()],
+            period_minutes=period_minutes,
+        )
+
+    def describe(self) -> str:
+        return f"{self.name}[{self.num_steps} steps]"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(steps={self.num_steps})"
+
+
+def _support_pairs(network: Network, num_pairs: int, rng: np.random.Generator) -> List[Pair]:
+    """A deterministic random sample of ``num_pairs`` ordered pairs."""
+    pairs = list(network.vertex_pairs(ordered=True))
+    if not pairs:
+        raise StreamError("network has no ordered vertex pairs to stream demand over")
+    if num_pairs >= len(pairs):
+        return pairs
+    chosen = rng.choice(len(pairs), size=num_pairs, replace=False)
+    return [pairs[int(index)] for index in sorted(chosen)]
+
+
+class DiurnalStream(_StreamBase):
+    """Sinusoidal diurnal modulation of a gravity base matrix.
+
+    Every step rescales the whole base matrix by
+    ``1 + amplitude * sin(2π step / period)`` and applies per-pair
+    multiplicative jitter, so **every pair changes every step** — the
+    delta covers the full support.  This is the dense extreme against
+    which sparse-delta streams are compared.
+    """
+
+    name = "diurnal"
+
+    def __init__(
+        self,
+        network: Network,
+        num_steps: int,
+        seed: RngLike = None,
+        base_total: float = 10.0,
+        amplitude: float = 0.4,
+        period: int = 96,
+        jitter: float = 0.05,
+    ) -> None:
+        super().__init__(network, num_steps, seed)
+        if not (0 <= amplitude < 1):
+            raise StreamError("diurnal amplitude must be in [0, 1)")
+        if period < 1:
+            raise StreamError("diurnal period must be at least one step")
+        if jitter < 0:
+            raise StreamError("jitter must be nonnegative")
+        self._base_total = float(base_total)
+        self._amplitude = float(amplitude)
+        self._period = int(period)
+        self._jitter = float(jitter)
+
+    def updates(self) -> Iterator[StreamUpdate]:
+        from repro.demands.generators import gravity_demand
+
+        rng = stream_rng(self._seed, 0)
+        base = gravity_demand(self._network, total=self._base_total, rng=rng)
+        pairs = sorted(base.pairs(), key=repr)
+        base_values = np.asarray([base.value(*pair) for pair in pairs], dtype=float)
+        for step in range(self.num_steps):
+            scale = 1.0 + self._amplitude * math.sin(2.0 * math.pi * step / self._period)
+            noise = np.maximum(0.0, 1.0 + self._jitter * rng.normal(size=len(pairs)))
+            values = base_values * scale * noise
+            delta = {pair: float(value) for pair, value in zip(pairs, values)}
+            yield StreamUpdate(step=step, demand=Demand(delta), delta=delta)
+
+
+class RandomWalkStream(_StreamBase):
+    """Multiplicative random-walk drift over a fixed demand support.
+
+    A fixed set of ``num_pairs`` ordered pairs starts from exponential
+    volumes normalized to ``total``; each step picks
+    ``ceil(churn * num_pairs)`` of them and multiplies each by an
+    independent log-normal factor ``exp(sigma * N(0, 1))``.  Deltas are
+    exactly the perturbed pairs — the canonical sparse-delta workload of
+    ``repro bench stream``.
+    """
+
+    name = "random-walk"
+
+    def __init__(
+        self,
+        network: Network,
+        num_steps: int,
+        seed: RngLike = None,
+        num_pairs: int = 256,
+        total: float = 10.0,
+        churn: float = 0.05,
+        sigma: float = 0.3,
+    ) -> None:
+        super().__init__(network, num_steps, seed)
+        if num_pairs < 1:
+            raise StreamError("random-walk stream needs at least one demand pair")
+        if not (0 < churn <= 1):
+            raise StreamError("churn must be in (0, 1]")
+        if sigma < 0:
+            raise StreamError("sigma must be nonnegative")
+        self._num_pairs = int(num_pairs)
+        self._total = float(total)
+        self._churn = float(churn)
+        self._sigma = float(sigma)
+
+    def updates(self) -> Iterator[StreamUpdate]:
+        rng = stream_rng(self._seed, 1)
+        pairs = _support_pairs(self._network, self._num_pairs, rng)
+        raw = rng.exponential(scale=1.0, size=len(pairs))
+        raw_total = float(raw.sum())
+        values = raw * (self._total / raw_total if raw_total > 0 else 1.0)
+        state: Dict[Pair, float] = {
+            pair: float(value) for pair, value in zip(pairs, values) if value > 0
+        }
+        yield StreamUpdate(step=0, demand=Demand(state), delta=dict(state))
+        per_step = max(1, math.ceil(self._churn * len(pairs)))
+        for step in range(1, self.num_steps):
+            chosen = rng.choice(len(pairs), size=per_step, replace=False)
+            factors = np.exp(self._sigma * rng.normal(size=per_step))
+            delta: Dict[Pair, float] = {}
+            for index, factor in zip(chosen, factors):
+                pair = pairs[int(index)]
+                new_value = state.get(pair, 0.0) * float(factor)
+                state[pair] = new_value
+                delta[pair] = new_value
+            yield StreamUpdate(step=step, demand=Demand(state), delta=delta)
+
+
+class FlashCrowdStream(_StreamBase):
+    """A static gravity base with rectangular flash-crowd bursts.
+
+    Each step, a new burst starts with probability ``burst_rate``: one
+    uniformly random support pair is multiplied by ``burst_factor`` for
+    ``burst_length`` steps and then falls back to its base volume.
+    Deltas contain only the pairs whose burst state flipped.
+    """
+
+    name = "flash-crowd"
+
+    def __init__(
+        self,
+        network: Network,
+        num_steps: int,
+        seed: RngLike = None,
+        base_total: float = 10.0,
+        num_pairs: int = 256,
+        burst_rate: float = 0.2,
+        burst_factor: float = 8.0,
+        burst_length: int = 8,
+    ) -> None:
+        super().__init__(network, num_steps, seed)
+        if not (0 <= burst_rate <= 1):
+            raise StreamError("burst_rate must be in [0, 1]")
+        if burst_factor <= 0:
+            raise StreamError("burst_factor must be positive")
+        if burst_length < 1:
+            raise StreamError("burst_length must be at least one step")
+        self._base_total = float(base_total)
+        self._num_pairs = int(num_pairs)
+        self._burst_rate = float(burst_rate)
+        self._burst_factor = float(burst_factor)
+        self._burst_length = int(burst_length)
+
+    def updates(self) -> Iterator[StreamUpdate]:
+        rng = stream_rng(self._seed, 2)
+        pairs = _support_pairs(self._network, self._num_pairs, rng)
+        raw = rng.exponential(scale=1.0, size=len(pairs))
+        raw_total = float(raw.sum())
+        base: Dict[Pair, float] = {
+            pair: float(value) * (self._base_total / raw_total if raw_total > 0 else 1.0)
+            for pair, value in zip(pairs, raw)
+            if value > 0
+        }
+        state: Dict[Pair, float] = dict(base)
+        remaining: Dict[Pair, int] = {}
+        yield StreamUpdate(step=0, demand=Demand(state), delta=dict(state))
+        for step in range(1, self.num_steps):
+            delta: Dict[Pair, float] = {}
+            for pair in list(remaining):
+                remaining[pair] -= 1
+                if remaining[pair] <= 0:
+                    del remaining[pair]
+                    state[pair] = base.get(pair, 0.0)
+                    delta[pair] = state[pair]
+            if base and rng.random() < self._burst_rate:
+                pair = pairs[int(rng.integers(len(pairs)))]
+                if pair not in remaining and pair in base:
+                    remaining[pair] = self._burst_length
+                    state[pair] = base[pair] * self._burst_factor
+                    delta[pair] = state[pair]
+            yield StreamUpdate(step=step, demand=Demand(state), delta=delta)
+
+
+class AdversarialShiftStream(_StreamBase):
+    """Adversarially shifting permutations: a fresh worst-of-k SPF stress
+    permutation every ``shift_every`` steps, constant in between.
+
+    The semi-oblivious stability workload: a routing optimized for one
+    shift is blindsided by the next (the support changes wholesale), so
+    install-once MCF policies are forced to re-solve while fixed path
+    systems only re-split.
+    """
+
+    name = "adversarial-shift"
+
+    def __init__(
+        self,
+        network: Network,
+        num_steps: int,
+        seed: RngLike = None,
+        shift_every: int = 16,
+        num_trials: int = 8,
+        scale: float = 1.0,
+    ) -> None:
+        super().__init__(network, num_steps, seed)
+        if shift_every < 1:
+            raise StreamError("shift_every must be at least one step")
+        if scale <= 0:
+            raise StreamError("scale must be positive")
+        self._shift_every = int(shift_every)
+        self._num_trials = int(num_trials)
+        self._scale = float(scale)
+
+    def updates(self) -> Iterator[StreamUpdate]:
+        from repro.demands.adversarial import spf_stress_permutation
+
+        rng = stream_rng(self._seed, 3)
+        current: Optional[Demand] = None
+        for step in range(self.num_steps):
+            if step % self._shift_every == 0:
+                fresh = spf_stress_permutation(
+                    self._network, num_trials=self._num_trials, rng=rng
+                ).scaled(self._scale)
+                delta: Dict[Pair, float] = (
+                    {} if current is None else {pair: 0.0 for pair in current.pairs()}
+                )
+                for pair, amount in fresh.items():
+                    delta[pair] = amount
+                current = fresh
+                yield StreamUpdate(step=step, demand=current, delta=delta)
+            else:
+                yield StreamUpdate(step=step, demand=current, delta={})
+
+
+class ReplayStream(_StreamBase):
+    """Replay a :class:`TrafficMatrixSeries` as a stream.
+
+    Deltas are recovered by diffing consecutive snapshots: an entry is
+    emitted for every pair whose value changed (dropped pairs appear
+    with ``0.0``), so replayed series evaluate just as incrementally as
+    native streams when their snapshots overlap.
+    """
+
+    name = "replay"
+
+    def __init__(
+        self,
+        series: TrafficMatrixSeries,
+        name: str = "replay",
+        network: Optional[Network] = None,
+    ) -> None:
+        if not len(series):
+            raise StreamError("cannot replay an empty traffic matrix series")
+        # A series carries no topology reference, so the base ``network``
+        # accessor only works when the caller supplies one.
+        self._network = network
+        self._seed = None
+        self._series = series
+        self.name = name
+        self.num_steps = len(series)
+
+    @property
+    def series(self) -> TrafficMatrixSeries:
+        return self._series
+
+    def updates(self) -> Iterator[StreamUpdate]:
+        previous: Optional[Demand] = None
+        for step, snapshot in enumerate(self._series):
+            if previous is None:
+                delta = {pair: amount for pair, amount in snapshot.items()}
+            else:
+                delta = {}
+                for pair in previous.pairs():
+                    new_value = snapshot.value(*pair)
+                    if new_value != previous.value(*pair):
+                        delta[pair] = new_value
+                for pair, amount in snapshot.items():
+                    if previous.value(*pair) != amount:
+                        delta[pair] = amount
+            previous = snapshot
+            yield StreamUpdate(step=step, demand=snapshot, delta=delta)
+
+    def materialize(self) -> List[StreamUpdate]:
+        return list(self.updates())
+
+    def describe(self) -> str:
+        return f"{self.name}[{self.num_steps} snapshots]"
+
+
+# --------------------------------------------------------------------- #
+# Registry (the CLI and scenario axes build streams by name)
+# --------------------------------------------------------------------- #
+def _build_replay_diurnal(network: Network, num_steps: int, seed: RngLike, **params) -> ReplayStream:
+    from repro.demands.traffic_matrix import diurnal_gravity_series
+
+    series = diurnal_gravity_series(
+        network,
+        num_snapshots=num_steps,
+        base_total=float(params.pop("total", 10.0)),
+        rng=stream_rng(seed, 4),
+        **params,
+    )
+    return ReplayStream(series, name="replay-diurnal")
+
+
+_STREAM_KINDS: Dict[str, Tuple[Callable[..., DemandStream], str]] = {
+    "diurnal": (DiurnalStream, "sinusoidal gravity modulation with jitter (dense deltas)"),
+    "random-walk": (RandomWalkStream, "multiplicative drift on a fixed support (sparse deltas)"),
+    "flash-crowd": (FlashCrowdStream, "static base with rectangular burst events"),
+    "adversarial-shift": (AdversarialShiftStream, "fresh SPF stress permutation every k steps"),
+    "replay-diurnal": (_build_replay_diurnal, "replay of a diurnal_gravity_series via ReplayStream"),
+}
+
+
+def available_streams() -> List[str]:
+    """Canonical names of the registered stream kinds."""
+    return sorted(_STREAM_KINDS)
+
+
+def stream_descriptions() -> Dict[str, str]:
+    """Name -> one-line description of every registered stream kind."""
+    return {name: description for name, (_, description) in sorted(_STREAM_KINDS.items())}
+
+
+def build_stream(
+    kind: str,
+    network: Network,
+    num_steps: int,
+    seed: RngLike = None,
+    **params: Any,
+) -> DemandStream:
+    """Construct a registered stream kind by name.
+
+    Unknown kinds and unknown parameters raise :class:`StreamError`
+    (the registry is the CLI's and the scenario axis' entry point, so
+    typos must fail fast with the available choices spelled out).
+    """
+    if kind not in _STREAM_KINDS:
+        raise StreamError(f"unknown stream kind {kind!r}; available: {available_streams()}")
+    factory, _ = _STREAM_KINDS[kind]
+    try:
+        return factory(network, num_steps, seed, **params)
+    except TypeError as error:
+        raise StreamError(f"bad parameters for stream {kind!r}: {error}") from error
+
+
+__all__ = [
+    "DemandStream",
+    "StreamUpdate",
+    "DiurnalStream",
+    "RandomWalkStream",
+    "FlashCrowdStream",
+    "AdversarialShiftStream",
+    "ReplayStream",
+    "available_streams",
+    "stream_descriptions",
+    "build_stream",
+    "stream_rng",
+]

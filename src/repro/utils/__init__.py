@@ -2,7 +2,7 @@
 
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.tables import Table, format_float, format_series
-from repro.utils.timing import Timer
+from repro.utils.timing import Stopwatch, Timer
 
 __all__ = [
     "ensure_rng",
@@ -10,5 +10,6 @@ __all__ = [
     "Table",
     "format_float",
     "format_series",
+    "Stopwatch",
     "Timer",
 ]

@@ -1,10 +1,51 @@
-"""Small timing helper used by the experiment harness."""
+"""Timing helpers shared by the harness and the benchmark targets.
+
+All wall-clock measurement in the repository goes through
+``time.perf_counter`` (monotonic, highest available resolution) — either
+via :class:`Stopwatch` for one-off measurements or via
+:class:`Timer` for named, accumulated sections.
+"""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List
+
+
+class Stopwatch:
+    """Context manager measuring one block with ``time.perf_counter``.
+
+    The bench targets (``repro bench linalg|rebase|stream``) all time
+    their measured loops through this class::
+
+        with Stopwatch() as watch:
+            run_workload()
+        print(watch.elapsed)
+
+    ``elapsed`` is live while the block runs and freezes on exit.
+    """
+
+    def __init__(self) -> None:
+        self._start: float = 0.0
+        self._elapsed: float = 0.0
+        self._running = False
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        self._running = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._elapsed = time.perf_counter() - self._start
+        self._running = False
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds measured so far (final once the block has exited)."""
+        if self._running:
+            return time.perf_counter() - self._start
+        return self._elapsed
 
 
 @dataclass
@@ -52,4 +93,4 @@ class _Section:
         self._timer.record(self._name, time.perf_counter() - self._start)
 
 
-__all__ = ["Timer"]
+__all__ = ["Stopwatch", "Timer"]

@@ -95,3 +95,67 @@ def test_te_bad_scheme_param(capsys):
 def test_te_zero_snapshots(capsys):
     assert main(["te", "--topology", "hypercube:3", "--snapshots", "0"]) == 2
     assert "bad traffic series" in capsys.readouterr().err
+
+
+def test_stream_list(capsys):
+    assert main(["stream", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("random-walk", "flash-crowd", "adversarial-shift", "diurnal",
+                 "static", "periodic", "threshold", "semi-oblivious"):
+        assert name in out
+
+
+def test_stream_describe(capsys):
+    assert main(["stream", "describe", "random-walk"]) == 0
+    assert "random-walk" in capsys.readouterr().out
+    assert main(["stream", "describe", "periodic"]) == 0
+    assert "MCF" in capsys.readouterr().out
+    assert main(["stream", "describe", "nope"]) == 2
+    assert "unknown stream or policy" in capsys.readouterr().err
+
+
+def test_stream_run_table(capsys):
+    assert main([
+        "stream", "run", "--topology", "torus:3", "--stream", "random-walk",
+        "--steps", "8", "--policy", "static", "--seed", "1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "static" in out and "cum.cong" in out
+
+
+def test_stream_run_json_is_bit_identical(capsys):
+    args = ["stream", "run", "--topology", "torus:3", "--stream", "flash-crowd",
+            "--steps", "10", "--policy", "static", "--policy", "semi-oblivious(every=4)",
+            "--seed", "3", "--json"]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    payload = json.loads(first)
+    assert payload["num_steps"] == 10
+    assert set(payload["policies"]) == {"static", "semi-oblivious(every=4)"}
+
+
+def test_stream_run_bad_policy(capsys):
+    assert main([
+        "stream", "run", "--topology", "torus:3", "--steps", "4",
+        "--policy", "warp-speed",
+    ]) == 2
+    assert "stream run failed" in capsys.readouterr().err
+
+
+def test_stream_run_writes_output(tmp_path, capsys):
+    target = tmp_path / "stream.json"
+    assert main([
+        "stream", "run", "--topology", "torus:3", "--steps", "4",
+        "--policy", "static", "--no-steps", "--output", str(target),
+    ]) == 0
+    capsys.readouterr()
+    payload = json.loads(target.read_text())
+    assert "steps" not in payload["policies"]["static"]
+
+
+def test_bench_list_includes_stream(capsys):
+    assert main(["bench", "list"]) == 0
+    assert "stream" in capsys.readouterr().out

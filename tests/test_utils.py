@@ -79,3 +79,16 @@ def test_timer_accumulates():
     assert timer.counts["work"] == 2
     assert timer.totals["work"] >= 0.0
     assert any("work" in line for line in timer.summary())
+
+
+def test_stopwatch_measures_block():
+    import time
+
+    from repro.utils.timing import Stopwatch
+
+    with Stopwatch() as watch:
+        time.sleep(0.01)
+        assert watch.elapsed > 0.0  # live while running
+    elapsed = watch.elapsed
+    assert elapsed >= 0.01
+    assert watch.elapsed == elapsed  # frozen after exit

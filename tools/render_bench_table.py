@@ -31,26 +31,38 @@ def load_artifacts(paths):
     return artifacts
 
 
+def _workload_summary(workload) -> str:
+    if "num_steps" in workload:
+        return f"{workload['num_steps']} stream steps"
+    summary = f"{workload['num_demands']} demands"
+    if "num_events" in workload:
+        summary += f" x {workload['num_events']} failures"
+    return summary
+
+
 def render(artifacts) -> str:
+    """Baseline/fast columns are generic: every payload orders its
+    ``backends`` mapping baseline-first and carries exactly one
+    ``speedup_<fast>_over_<baseline>`` key."""
     lines = [
-        "| bench | topology | batch | dict | sparse | speedup |",
+        "| bench | topology | workload | baseline | fast | speedup |",
         "|---|---|---|---|---|---|",
     ]
     for payload in artifacts:
         network = payload["network"]
-        workload = payload["workload"]
-        dict_backend = payload["backends"]["dict"]
-        sparse_backend = payload["backends"]["sparse"]
-        batch = f"{workload['num_demands']} demands"
-        if "num_events" in workload:
-            batch += f" x {workload['num_events']} failures"
+        baseline_name, fast_name = list(payload["backends"])[:2]
+        baseline = payload["backends"][baseline_name]
+        fast = payload["backends"][fast_name]
+        speedup = next(
+            value for key, value in payload.items() if key.startswith("speedup_")
+        )
         lines.append(
             f"| `{payload['name']}` "
             f"| {network['name']} (n={network['n']}, m={network['m']}) "
-            f"| {batch} "
-            f"| {dict_backend['seconds']:.2f} s "
-            f"| {sparse_backend['seconds']:.2f} s "
-            f"| **{payload['speedup_sparse_over_dict']:.1f}x** |"
+            f"| {_workload_summary(payload['workload'])} "
+            f"| {baseline['seconds']:.2f} s ({baseline_name}) "
+            f"| {fast['seconds']:.2f} s ({fast_name}) "
+            f"| **{speedup:.1f}x** |"
         )
     return "\n".join(lines)
 
