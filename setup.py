@@ -14,6 +14,11 @@ setup(
     description="Sparse semi-oblivious routing: few random paths suffice (PODC 2023 reproduction)",
     package_dir={"": "src"},
     packages=find_packages("src"),
+    # The bundled real-topology catalog (repro net): data files ship
+    # with the package so zoo(...)/sndlib(...) resolve after install.
+    package_data={
+        "repro.net.catalog": ["*.graphml", "*.txt", "*.xml", "*.json"],
+    },
     python_requires=">=3.10",
     # Core stays numpy-only: the compiled evaluation backend
     # (repro.linalg) falls back to dense numpy operators without scipy,

@@ -46,15 +46,31 @@ Subcommands
     Seeded runs are bit-identical however often they are replayed (the
     artifact carries no wall-clock fields).
 
+``net``
+    Real-network ingestion: list and inspect the bundled topology
+    catalog (Topology Zoo GraphML, SNDlib native/XML), convert any
+    catalog entry or file into the canonical JSON network form, and fit
+    demand models (gravity, max-entropy) from the dataset's marginals::
+
+        python -m repro net list
+        python -m repro net describe "sndlib(geant)"
+        python -m repro net convert "zoo(abilene)" --output abilene.json
+        python -m repro net fit "sndlib(polska)" --model max-entropy --json
+
+    Seeded ``convert``/``fit`` artifacts are bit-identical across runs.
+    Catalog names also work wherever a topology is expected:
+    ``repro te --topology "zoo(abilene)"``.
+
 ``bench``
     Run registered benchmark targets and write schema-stable
     ``BENCH_<name>.json`` artifacts comparing a reference and a fast
     evaluation path (``dict`` vs ``sparse``, per-step batch vs
-    incremental streaming)::
+    incremental streaming, the real-topology catalog)::
 
         python -m repro bench list
         python -m repro bench linalg --scale smoke
         python -m repro bench stream --scale small
+        python -m repro bench net --scale smoke
         python -m repro bench --scale full --output-dir .
 
 ``schemes``
@@ -148,11 +164,24 @@ def _cmd_experiments(ids: List[str], scale: str, seed: int, as_json: bool = Fals
 
 
 def _build_te_network(topology: str, seed: int):
-    """Parse ``name[:size]`` into a Network (hypercube:4, waxman:14, ...)."""
+    """Parse ``name[:size]`` or a catalog name into a Network.
+
+    Synthetic families: ``hypercube:4``, ``torus:4``, ``expander:12``,
+    ``waxman:14``.  Real topologies come from the ingestion catalog:
+    ``zoo(abilene)``, ``zoo:abilene``, ``sndlib(geant)``.
+    """
     from repro.graphs import topologies
     from repro.graphs.generators import waxman_isp
 
     name, _, size_text = topology.partition(":")
+    if "(" in name or name in ("zoo", "sndlib"):
+        from repro.exceptions import NetError
+        from repro.net import load_network
+
+        try:
+            return load_network(topology)
+        except NetError as error:
+            raise SystemExit(str(error))
     try:
         size = int(size_text) if size_text else None
     except ValueError:
@@ -165,7 +194,10 @@ def _build_te_network(topology: str, seed: int):
         return topologies.random_regular_expander(size if size is not None else 12, rng=seed)
     if name == "waxman":
         return waxman_isp(size if size is not None else 14, rng=seed)
-    raise SystemExit(f"unknown topology {topology!r} (use hypercube:K, torus:K, expander:N, waxman:N)")
+    raise SystemExit(
+        f"unknown topology {topology!r} (use hypercube:K, torus:K, expander:N, "
+        f"waxman:N, or a catalog name like zoo(abilene) / sndlib(geant))"
+    )
 
 
 def _cmd_te(
@@ -411,6 +443,190 @@ def _cmd_bench(
     return 0
 
 
+_NET_SCHEMA = "repro-net/v1"
+
+
+def _emit_net_artifact(artifact: str, output: Optional[str], as_json: bool, label: str) -> None:
+    """Write and/or print a net artifact (printed when no --output given)."""
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(artifact + "\n")
+        print(f"wrote {label} artifact to {output}", file=sys.stderr)
+    if as_json or not output:
+        print(artifact)
+
+
+def _cmd_net_list(as_json: bool) -> int:
+    from repro.net import catalog_entries
+
+    entries = catalog_entries()
+    if as_json:
+        print(json_dumps([entry.to_dict() for entry in entries]))
+        return 0
+    header = (f"{'name':24s} {'format':8s} {'nodes':>5s} {'links':>5s} "
+              f"{'units':8s} demands  description")
+    print(header)
+    print("-" * len(header))
+    for entry in entries:
+        print(f"{entry.qualified_name:24s} {entry.format:8s} {entry.nodes:5d} "
+              f"{entry.links:5d} {entry.capacity_units:8s} "
+              f"{'yes' if entry.has_demands else 'no ':7s} {entry.description}")
+    return 0
+
+
+def _cmd_net_describe(name: str, as_json: bool) -> int:
+    from repro.exceptions import NetError
+    from repro.net import load_catalog_instance
+
+    try:
+        entry, instance = load_catalog_instance(name)
+    except NetError as error:
+        print(error, file=sys.stderr)
+        return 2
+    network = instance.network
+    capacities = [network.capacity_of(edge) for edge in network.edges]
+    stats = {
+        "n": network.num_vertices,
+        "m": network.num_edges,
+        "diameter": network.diameter(),
+        "max_degree": network.max_degree(),
+        "min_capacity": min(capacities),
+        "max_capacity": max(capacities),
+        "total_capacity": sum(capacities),
+        "num_demand_pairs": len(instance.demands),
+        "total_demand": instance.total_demand(),
+    }
+    if as_json:
+        print(json_dumps({**entry.to_dict(), "stats": stats}))
+        return 0
+    print(f"{entry.qualified_name}: {entry.description}")
+    print(f"  file:       {entry.file} ({entry.format} format)")
+    print(f"  provenance: {entry.provenance}")
+    print(f"  size:       {stats['n']} nodes, {stats['m']} links, "
+          f"diameter {stats['diameter']}, max degree {stats['max_degree']}")
+    print(f"  capacity:   [{stats['min_capacity']:g}, {stats['max_capacity']:g}] "
+          f"{entry.capacity_units} per link, {stats['total_capacity']:g} total")
+    if instance.has_demands:
+        print(f"  demands:    {stats['num_demand_pairs']} pairs, "
+              f"{stats['total_demand']:g} total volume")
+    else:
+        print("  demands:    none bundled (fitting uses capacity marginals)")
+    return 0
+
+
+def _network_artifact(source: str, network) -> dict:
+    """The canonical JSON form of an ingested network (bit-stable)."""
+    nodes = []
+    for vertex in network.vertices:
+        record = {"id": str(vertex)}
+        data = network.graph.nodes[vertex]
+        for key in ("latitude", "longitude"):
+            if key in data:
+                record[key] = data[key]
+        nodes.append(record)
+    edges = []
+    for u, v in network.edges:
+        record = {
+            "source": str(u),
+            "target": str(v),
+            "capacity": network.capacity(u, v),
+        }
+        latency = network.graph[u][v].get("latency")
+        if latency is not None:
+            record["latency_ms"] = latency
+        edges.append(record)
+    return {
+        "artifact": "network",
+        "schema": _NET_SCHEMA,
+        "source": source,
+        "name": network.name,
+        "nodes": nodes,
+        "edges": edges,
+        "stats": {
+            "n": network.num_vertices,
+            "m": network.num_edges,
+            "total_capacity": sum(edge["capacity"] for edge in edges),
+        },
+    }
+
+
+def _cmd_net_convert(source: str, as_json: bool, output: Optional[str]) -> int:
+    from repro.exceptions import NetError
+    from repro.net import load_network
+
+    try:
+        network = load_network(source)
+    except NetError as error:
+        print(error, file=sys.stderr)
+        return 2
+    _emit_net_artifact(
+        json_dumps(_network_artifact(source, network)), output, as_json, "network"
+    )
+    return 0
+
+
+def _cmd_net_fit(
+    source: str,
+    model: str,
+    snapshots: int,
+    seed: int,
+    total: Optional[float],
+    as_json: bool,
+    output: Optional[str],
+) -> int:
+    from repro.exceptions import NetError
+    from repro.net import fitted_gravity_series, load_instance, max_entropy_series
+
+    try:
+        # Catalog names and file paths resolve identically: SNDlib
+        # sources keep their bundled demand matrix either way.
+        instance = load_instance(source)
+        network, demands = instance.network, instance.demands
+        resolved_total = total if total is not None else (
+            sum(demands.values()) if demands else 10.0
+        )
+        if model == "gravity":
+            # Catalog entries with a bundled demand matrix are fitted to
+            # its per-node marginals; otherwise capacity weights apply.
+            series = fitted_gravity_series(
+                network, snapshots, total=resolved_total, rng=seed, demands=demands or None
+            )
+        else:
+            series = max_entropy_series(
+                network, snapshots, total=resolved_total, rng=seed
+            )
+    except NetError as error:
+        print(error, file=sys.stderr)
+        return 2
+    payload = {
+        "artifact": "fitted-demands",
+        "schema": _NET_SCHEMA,
+        "source": source,
+        "network": network.name,
+        "model": model,
+        "seed": seed,
+        "num_snapshots": snapshots,
+        "total": resolved_total,
+        "fitted_from": (
+            "bundled-demand-marginals" if (demands and model == "gravity")
+            else "link-capacity-marginals"
+        ),
+        "snapshots": [
+            sorted(
+                (
+                    {"source": str(s), "target": str(t), "value": value}
+                    for (s, t), value in snapshot.items()
+                ),
+                key=lambda record: (record["source"], record["target"]),
+            )
+            for snapshot in series
+        ],
+        "total_volumes": series.total_volumes(),
+    }
+    _emit_net_artifact(json_dumps(payload), output, as_json, "fitted-demand")
+    return 0
+
+
 def _cmd_quickstart(dimension: int, alpha: int) -> int:
     from repro import build_router, topologies
     from repro.demands import random_permutation_demand
@@ -511,6 +727,43 @@ def main(argv: Optional[List[str]] = None) -> int:
     stream_run.add_argument("--output", default=None,
                             help="also write the JSON artifact to this path")
 
+    net_parser = subparsers.add_parser(
+        "net", help="real-network ingestion: topology catalog, conversion, demand fitting"
+    )
+    net_sub = net_parser.add_subparsers(dest="net_command", required=True)
+    net_list = net_sub.add_parser("list", help="list the bundled real-topology catalog")
+    net_list.add_argument("--json", action="store_true",
+                          help="print catalog metadata as JSON")
+    net_describe = net_sub.add_parser("describe", help="describe one catalog topology")
+    net_describe.add_argument("name", help="catalog name, e.g. 'zoo(abilene)' or 'geant'")
+    net_describe.add_argument("--json", action="store_true",
+                              help="print metadata and parsed stats as JSON")
+    net_convert = net_sub.add_parser(
+        "convert", help="parse a topology into the canonical JSON network form"
+    )
+    net_convert.add_argument("source",
+                             help="catalog name or path to a GraphML/SNDlib file")
+    net_convert.add_argument("--json", action="store_true",
+                             help="print the artifact (default when no --output)")
+    net_convert.add_argument("--output", default=None,
+                             help="write the JSON artifact to this path")
+    net_fit = net_sub.add_parser(
+        "fit", help="fit a demand model and emit a traffic-matrix series artifact"
+    )
+    net_fit.add_argument("source", help="catalog name or path to a GraphML/SNDlib file")
+    net_fit.add_argument("--model", choices=("gravity", "max-entropy"), default="gravity",
+                         help="demand model (default gravity)")
+    net_fit.add_argument("--snapshots", type=int, default=4,
+                         help="snapshots in the fitted series (default 4)")
+    net_fit.add_argument("--seed", type=int, default=0)
+    net_fit.add_argument("--total", type=float, default=None,
+                         help="total volume per snapshot (default: the bundled "
+                              "demand total when present, else 10)")
+    net_fit.add_argument("--json", action="store_true",
+                         help="print the artifact (default when no --output)")
+    net_fit.add_argument("--output", default=None,
+                         help="write the JSON artifact to this path")
+
     bench_parser = subparsers.add_parser(
         "bench", help="run benchmark targets and write BENCH_<name>.json artifacts"
     )
@@ -558,6 +811,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.topology, args.stream_kind, args.steps, args.policies, args.scheme,
                 args.seed, args.window, args.threshold, args.backend, args.optimal,
                 args.json, args.no_steps, args.output,
+            )
+        return 2
+    if args.command == "net":
+        if args.net_command == "list":
+            return _cmd_net_list(as_json=args.json)
+        if args.net_command == "describe":
+            return _cmd_net_describe(args.name, as_json=args.json)
+        if args.net_command == "convert":
+            return _cmd_net_convert(args.source, as_json=args.json, output=args.output)
+        if args.net_command == "fit":
+            return _cmd_net_fit(
+                args.source, args.model, args.snapshots, args.seed, args.total,
+                as_json=args.json, output=args.output,
             )
         return 2
     if args.command == "bench":

@@ -388,6 +388,35 @@ class RoutingEngine:
         )
 
     # ------------------------------------------------------------------ #
+    # Real-network ingestion
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load_network(
+        cls,
+        source: str,
+        schemes: Union[Sequence[SpecLike], Mapping[str, SpecLike]] = (),
+        rng: RngLike = None,
+        cut_cache: Optional[CutCache] = None,
+        backend: Optional[str] = None,
+    ) -> "RoutingEngine":
+        """Build an engine on a real network resolved by the ingestion layer.
+
+        ``source`` is anything :func:`repro.net.load_network` accepts: a
+        bundled catalog name (``"zoo(abilene)"``, ``"sndlib(geant)"``) or
+        a path to a GraphML / SNDlib file.  The remaining parameters are
+        the normal engine constructor arguments::
+
+            engine = RoutingEngine.load_network(
+                "sndlib(geant)", ["semi-oblivious(racke, alpha=4)", "spf"], rng=0
+            )
+        """
+        from repro.net import load_network as _load_network
+
+        return cls(
+            _load_network(source), schemes, rng=rng, cut_cache=cut_cache, backend=backend
+        )
+
+    # ------------------------------------------------------------------ #
     # Scenario sweeps
     # ------------------------------------------------------------------ #
     @staticmethod

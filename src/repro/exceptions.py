@@ -71,6 +71,32 @@ class StreamError(ReproError):
     """
 
 
+class NetError(ReproError):
+    """Raised when the real-network ingestion subsystem is misused.
+
+    Examples include unknown catalog entries, unresolvable network
+    sources, and demand-fitting calls with inconsistent marginals.
+    """
+
+
+class TopologyFormatError(NetError):
+    """Raised when a topology file cannot be parsed into a :class:`Network`.
+
+    Carries the offending ``source`` (file name or description) and,
+    when known, the 1-based ``line`` of the problem, so CLI users see
+    ``geant.txt:41: link references unknown node 'xx1.xx'`` instead of a
+    bare parser traceback.
+    """
+
+    def __init__(self, message: str, source: str = "", line: int = 0) -> None:
+        self.source = source
+        self.line = line
+        prefix = ""
+        if source:
+            prefix = f"{source}:{line}: " if line else f"{source}: "
+        super().__init__(prefix + message)
+
+
 class InfeasibleError(SolverError):
     """Raised when a routing/flow problem has no feasible solution.
 

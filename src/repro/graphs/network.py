@@ -17,6 +17,7 @@ Paths are represented everywhere as tuples of vertices
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import networkx as nx
@@ -64,7 +65,9 @@ class Network:
         if graph.number_of_nodes() == 0:
             raise GraphError("network must have at least one vertex")
         simple = nx.Graph()
-        simple.add_nodes_from(graph.nodes())
+        # Node/edge attributes (labels, coordinates, latencies from the
+        # ingestion layer) are preserved; only ``capacity`` is interpreted.
+        simple.add_nodes_from((node, dict(data)) for node, data in graph.nodes(data=True))
         if isinstance(graph, (nx.MultiGraph, nx.MultiDiGraph)):
             edge_iter: Iterable = graph.edges(keys=False, data=True)
         else:
@@ -72,13 +75,25 @@ class Network:
         for u, v, data in edge_iter:
             if u == v:
                 continue  # self-loops carry no traffic
-            capacity = float(data.get("capacity", 1.0))
-            if capacity <= 0:
-                raise GraphError(f"edge {(u, v)} has non-positive capacity {capacity}")
+            try:
+                capacity = float(data.get("capacity", 1.0))
+            except (TypeError, ValueError):
+                raise GraphError(
+                    f"edge {(u, v)!r} has non-numeric capacity {data.get('capacity')!r}"
+                ) from None
+            # NaN compares False against every threshold: check finiteness
+            # explicitly or it slips through and poisons congestion math.
+            if not math.isfinite(capacity) or capacity <= 0:
+                raise GraphError(
+                    f"edge {(u, v)!r} has non-positive or non-finite capacity {capacity}"
+                )
+            extra = {key: value for key, value in data.items() if key != "capacity"}
             if simple.has_edge(u, v):
                 simple[u][v]["capacity"] += capacity
+                for key, value in extra.items():
+                    simple[u][v].setdefault(key, value)
             else:
-                simple.add_edge(u, v, capacity=capacity)
+                simple.add_edge(u, v, capacity=capacity, **extra)
         if require_connected and not nx.is_connected(simple):
             raise GraphError("network must be connected")
         self._graph = simple
@@ -264,13 +279,44 @@ class Network:
         edges: Iterable[Tuple[Vertex, Vertex]],
         capacities: Optional[Mapping[Tuple[Vertex, Vertex], float]] = None,
         name: str = "network",
+        vertices: Optional[Iterable[Vertex]] = None,
     ) -> "Network":
-        """Build a network from an edge list with optional capacities."""
+        """Build a network from an edge list with optional capacities.
+
+        When ``vertices`` is given it declares the full vertex set: an
+        edge endpoint outside it raises :class:`GraphError` (the typed
+        diagnostic the ingestion parsers rely on), and declared but
+        isolated vertices still fail the connectivity check rather than
+        being silently dropped.  Zero or negative entries in
+        ``capacities`` raise :class:`GraphError` naming the edge.
+        """
         graph = nx.Graph()
+        known = None
+        if vertices is not None:
+            known = list(vertices)
+            graph.add_nodes_from(known)
+            known = set(known)
         for u, v in edges:
+            if known is not None:
+                missing = [vertex for vertex in (u, v) if vertex not in known]
+                if missing:
+                    raise GraphError(
+                        f"edge {(u, v)!r} references unknown vertices "
+                        f"{sorted(map(repr, missing))}"
+                    )
             capacity = 1.0
             if capacities is not None:
                 capacity = capacities.get((u, v), capacities.get((v, u), 1.0))
+                try:
+                    capacity = float(capacity)
+                except (TypeError, ValueError):
+                    raise GraphError(
+                        f"edge {(u, v)!r} has non-numeric capacity {capacity!r}"
+                    ) from None
+                if not math.isfinite(capacity) or capacity <= 0:
+                    raise GraphError(
+                        f"edge {(u, v)!r} has non-positive or non-finite capacity {capacity}"
+                    )
             if graph.has_edge(u, v):
                 graph[u][v]["capacity"] += capacity
             else:

@@ -1,0 +1,89 @@
+"""Real-network ingestion: parsers, topology catalog, demand fitting.
+
+The ingestion layer turns real-world topology datasets into the repo's
+:class:`~repro.graphs.network.Network` objects and fits demand models
+from whatever marginals the datasets carry, so every downstream
+subsystem — engine, scenario grids, compiled evaluation, streaming
+replay — runs on Abilene/GÉANT-class networks exactly as it runs on the
+synthetic families::
+
+    from repro.net import load_network, fitted_gravity_series
+
+    network = load_network("zoo(abilene)")          # bundled catalog
+    series = fitted_gravity_series(network, 24, rng=0)
+
+Three pieces:
+
+* parsers (:mod:`repro.net.graphml`, :mod:`repro.net.sndlib`) with
+  shared capacity/latency inference rules
+  (:class:`~repro.net.inference.CapacityRules`) and typed
+  :class:`~repro.exceptions.TopologyFormatError` diagnostics;
+* the bundled catalog (:mod:`repro.net.catalog`) of checked-in real
+  topologies, addressable as ``zoo(name)`` / ``sndlib(name)`` from the
+  scenario topology axis, the ``repro net`` CLI, and
+  :meth:`RoutingEngine.load_network`;
+* demand fitting (:mod:`repro.net.fitting`): gravity estimation and
+  max-entropy (IPF) fitting from link-load marginals, emitting
+  :class:`~repro.demands.traffic_matrix.TrafficMatrixSeries`.
+"""
+
+from repro.exceptions import NetError, TopologyFormatError
+from repro.net.catalog import (
+    CatalogEntry,
+    available_topologies,
+    catalog_entries,
+    catalog_entry,
+    load_catalog_instance,
+    load_catalog_topology,
+    load_instance,
+    load_network,
+)
+from repro.net.fitting import (
+    capacity_weights,
+    demand_marginals,
+    fit_gravity,
+    fitted_gravity_series,
+    marginals_from_link_loads,
+    max_entropy_demand,
+    max_entropy_series,
+    population_weights,
+)
+from repro.net.graphml import load_graphml, parse_graphml
+from repro.net.inference import CapacityRules, haversine_km
+from repro.net.sndlib import (
+    SndlibInstance,
+    load_sndlib,
+    parse_sndlib,
+    parse_sndlib_native,
+    parse_sndlib_xml,
+)
+
+__all__ = [
+    "NetError",
+    "TopologyFormatError",
+    "CapacityRules",
+    "haversine_km",
+    "CatalogEntry",
+    "available_topologies",
+    "catalog_entries",
+    "catalog_entry",
+    "load_catalog_instance",
+    "load_catalog_topology",
+    "load_instance",
+    "load_network",
+    "parse_graphml",
+    "load_graphml",
+    "SndlibInstance",
+    "parse_sndlib",
+    "parse_sndlib_native",
+    "parse_sndlib_xml",
+    "load_sndlib",
+    "capacity_weights",
+    "population_weights",
+    "demand_marginals",
+    "marginals_from_link_loads",
+    "fit_gravity",
+    "fitted_gravity_series",
+    "max_entropy_demand",
+    "max_entropy_series",
+]

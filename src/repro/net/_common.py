@@ -1,0 +1,47 @@
+"""Shared parser plumbing: XML helpers and file reading with typed errors.
+
+Both parser modules (:mod:`repro.net.graphml`, :mod:`repro.net.sndlib`)
+need the same three things — namespace-agnostic tag names, an
+``ElementTree`` parse that surfaces syntax errors as
+:class:`~repro.exceptions.TopologyFormatError` with the source line, and
+file reading whose ``OSError`` carries the path.  They live here so a
+fix applies to every format at once.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Tuple
+
+from repro.exceptions import TopologyFormatError
+
+
+def local_name(tag: str) -> str:
+    """Element tag with any ``{namespace}`` prefix stripped."""
+    return tag.rsplit("}", 1)[-1]
+
+
+def parse_xml_root(text: str, source: str, what: str) -> ET.Element:
+    """Parse ``text`` as XML; syntax errors become typed diagnostics."""
+    try:
+        return ET.fromstring(text)
+    except ET.ParseError as error:
+        line = error.position[0] if getattr(error, "position", None) else 0
+        raise TopologyFormatError(
+            f"not well-formed {what}: {error}", source=source, line=line
+        ) from None
+
+
+def read_topology_file(path: str) -> Tuple[str, Path]:
+    """Read a topology file, wrapping I/O failures in the typed error."""
+    file_path = Path(path)
+    try:
+        return file_path.read_text(encoding="utf-8"), file_path
+    except OSError as error:
+        raise TopologyFormatError(
+            f"cannot read file: {error}", source=str(path)
+        ) from None
+
+
+__all__ = ["local_name", "parse_xml_root", "read_topology_file"]

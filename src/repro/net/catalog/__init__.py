@@ -1,0 +1,268 @@
+"""The bundled real-topology catalog and the network source resolver.
+
+``repro/net/catalog/`` ships a small set of checked-in real topologies
+(Topology Zoo GraphML and SNDlib native/XML transcriptions) described by
+``index.json``: per entry a name, on-disk format, expected node/link
+counts, capacity units, and provenance.  The catalog is the data behind
+the ``zoo(...)`` / ``sndlib(...)`` scenario topology kinds, the ``repro
+net`` CLI, and the ``repro bench net`` target.
+
+Catalog names are qualified as ``zoo(abilene)`` / ``sndlib(geant)``
+(the scenario-axis spelling); ``zoo:abilene`` and a bare ``abilene`` are
+accepted wherever the name is unambiguous.  :func:`load_network`
+additionally resolves file-system paths, dispatching on content
+(GraphML vs SNDlib native/XML), so ad-hoc downloads parse with the same
+rules as the bundled data.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import NetError, TopologyFormatError
+from repro.graphs.network import Network
+from repro.net.graphml import parse_graphml
+from repro.net.inference import CapacityRules
+from repro.net.sndlib import SndlibInstance, parse_sndlib, parse_sndlib_xml
+
+_CATALOG_DIR = Path(__file__).resolve().parent
+
+#: ``zoo(abilene)`` / ``sndlib:geant`` / ``abilene`` spellings.
+_QUALIFIED_RE = re.compile(r"^(?P<format>[a-z]+)\s*[(:]\s*(?P<name>[\w.-]+)\s*\)?$")
+
+_FORMATS = ("zoo", "sndlib")
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One bundled topology: metadata from ``index.json``."""
+
+    name: str
+    format: str
+    file: str
+    nodes: int
+    links: int
+    capacity_units: str
+    has_demands: bool
+    provenance: str
+    description: str
+
+    @property
+    def qualified_name(self) -> str:
+        """The canonical ``format(name)`` spelling."""
+        return f"{self.format}({self.name})"
+
+    @property
+    def path(self) -> Path:
+        return _CATALOG_DIR / self.file
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "format": self.format,
+            "file": self.file,
+            "nodes": self.nodes,
+            "links": self.links,
+            "capacity_units": self.capacity_units,
+            "has_demands": self.has_demands,
+            "provenance": self.provenance,
+            "description": self.description,
+        }
+
+
+def _load_index() -> List[CatalogEntry]:
+    index_path = _CATALOG_DIR / "index.json"
+    try:
+        payload = json.loads(index_path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise NetError(f"catalog index is unreadable: {error}") from None
+    except json.JSONDecodeError as error:
+        raise NetError(f"catalog index is not valid JSON: {error}") from None
+    entries = []
+    for raw in payload.get("entries", []):
+        entry = CatalogEntry(**raw)
+        if entry.format not in _FORMATS:
+            raise NetError(
+                f"catalog entry {entry.name!r} has unknown format {entry.format!r}; "
+                f"expected one of {list(_FORMATS)}"
+            )
+        entries.append(entry)
+    return entries
+
+
+_ENTRIES: Optional[List[CatalogEntry]] = None
+
+
+def catalog_entries() -> List[CatalogEntry]:
+    """All catalog entries in index order (cached)."""
+    global _ENTRIES
+    if _ENTRIES is None:
+        _ENTRIES = _load_index()
+    return list(_ENTRIES)
+
+
+def available_topologies(format: Optional[str] = None) -> List[str]:
+    """Sorted catalog names, optionally restricted to one format."""
+    return sorted(
+        entry.name
+        for entry in catalog_entries()
+        if format is None or entry.format == format
+    )
+
+
+def _split_qualified(name: str) -> Tuple[Optional[str], str]:
+    """``"zoo(abilene)"`` -> ``("zoo", "abilene")``; bare names pass through."""
+    match = _QUALIFIED_RE.match(name.strip())
+    if match and match.group("format") in _FORMATS:
+        return match.group("format"), match.group("name")
+    return None, name.strip()
+
+
+def catalog_entry(name: str, format: Optional[str] = None) -> CatalogEntry:
+    """Look up a catalog entry by (optionally qualified) name.
+
+    Raises :class:`NetError` listing the available names when the entry
+    does not exist or a bare name is ambiguous across formats.
+    """
+    parsed_format, bare = _split_qualified(name)
+    wanted_format = format or parsed_format
+    matches = [
+        entry
+        for entry in catalog_entries()
+        if entry.name == bare and (wanted_format is None or entry.format == wanted_format)
+    ]
+    if len(matches) == 1:
+        return matches[0]
+    available = [entry.qualified_name for entry in catalog_entries()]
+    if not matches:
+        raise NetError(
+            f"unknown catalog topology {name!r}; available: {available}"
+        )
+    raise NetError(
+        f"catalog name {name!r} is ambiguous across formats; "
+        f"qualify it as one of {[entry.qualified_name for entry in matches]}"
+    )
+
+
+def load_catalog_instance(
+    name: str,
+    format: Optional[str] = None,
+    rules: Optional[CapacityRules] = None,
+) -> Tuple[CatalogEntry, SndlibInstance]:
+    """Load a catalog entry as an :class:`SndlibInstance`.
+
+    GraphML entries yield an instance with an empty demand matrix, so
+    callers consume one shape regardless of the on-disk format.  The
+    parsed network is checked against the index metadata (node/link
+    counts, connectivity), turning a corrupted data file into a
+    :class:`TopologyFormatError` at load time rather than a silently
+    wrong experiment.
+    """
+    entry = catalog_entry(name, format=format)
+    try:
+        text = entry.path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise NetError(
+            f"catalog file {entry.file!r} for {entry.qualified_name} is unreadable: {error}"
+        ) from None
+    if entry.format == "zoo":
+        network = parse_graphml(text, name=entry.name, rules=rules, source=entry.file)
+        instance = SndlibInstance(network=network, demands={})
+    else:
+        instance = parse_sndlib(text, name=entry.name, rules=rules, source=entry.file)
+    network = instance.network
+    if network.num_vertices != entry.nodes or network.num_edges != entry.links:
+        raise TopologyFormatError(
+            f"catalog metadata mismatch for {entry.qualified_name}: index declares "
+            f"{entry.nodes} nodes / {entry.links} links, parsed "
+            f"{network.num_vertices} / {network.num_edges}",
+            source=entry.file,
+        )
+    if entry.has_demands != instance.has_demands:
+        raise TopologyFormatError(
+            f"catalog metadata mismatch for {entry.qualified_name}: index declares "
+            f"has_demands={entry.has_demands}, parsed {instance.has_demands}",
+            source=entry.file,
+        )
+    return entry, instance
+
+
+def load_catalog_topology(
+    name: str,
+    format: Optional[str] = None,
+    rules: Optional[CapacityRules] = None,
+) -> Network:
+    """Load a catalog entry's :class:`Network` (metadata-checked)."""
+    _, instance = load_catalog_instance(name, format=format, rules=rules)
+    return instance.network
+
+
+# --------------------------------------------------------------------- #
+# The generic source resolver
+# --------------------------------------------------------------------- #
+def load_instance(
+    source: str, rules: Optional[CapacityRules] = None, name: Optional[str] = None
+) -> SndlibInstance:
+    """Resolve ``source`` into an :class:`SndlibInstance`.
+
+    ``source`` may be a qualified catalog name (``zoo(abilene)``,
+    ``sndlib:geant``), a bare catalog name when unambiguous, or a path
+    to a ``.graphml`` / SNDlib file (format detected from content).
+    The instance carries the dataset's bundled demand matrix when one
+    exists (SNDlib ``DEMANDS`` sections), so demand-fitting consumers
+    see the same marginals whether the data came from the catalog or
+    from a file.
+    """
+    parsed_format, bare = _split_qualified(source)
+    if parsed_format is not None or any(
+        entry.name == bare for entry in catalog_entries()
+    ):
+        _, instance = load_catalog_instance(source, rules=rules)
+        return instance
+    path = Path(source)
+    if not path.exists():
+        available = [entry.qualified_name for entry in catalog_entries()]
+        raise NetError(
+            f"cannot resolve network source {source!r}: not a catalog entry "
+            f"(available: {available}) and not an existing file"
+        )
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise NetError(f"cannot read network file {source!r}: {error}") from None
+    stem = name or path.stem
+    if text.lstrip().startswith("<"):
+        # XML: GraphML and SNDlib XML share the syntax; dispatch on the
+        # actual root element, not a substring sniff (a comment
+        # mentioning "<graphml" must not confuse the router).
+        from repro.net._common import local_name, parse_xml_root
+
+        root = parse_xml_root(text, path.name, "topology XML")
+        if local_name(root.tag) == "graphml":
+            network = parse_graphml(text, name=stem, rules=rules, source=path.name)
+            return SndlibInstance(network=network, demands={})
+        return parse_sndlib_xml(text, name=stem, rules=rules, source=path.name)
+    return parse_sndlib(text, name=stem, rules=rules, source=path.name)
+
+
+def load_network(
+    source: str, rules: Optional[CapacityRules] = None, name: Optional[str] = None
+) -> Network:
+    """Resolve ``source`` into a :class:`Network` (see :func:`load_instance`)."""
+    return load_instance(source, rules=rules, name=name).network
+
+
+__all__ = [
+    "CatalogEntry",
+    "available_topologies",
+    "catalog_entries",
+    "catalog_entry",
+    "load_catalog_instance",
+    "load_catalog_topology",
+    "load_instance",
+    "load_network",
+]

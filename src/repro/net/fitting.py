@@ -1,0 +1,390 @@
+"""Demand-model fitting for ingested real topologies.
+
+Real topology datasets rarely ship full traffic matrices; what exists
+are *marginals* — per-node ingress/egress volumes, link-load counters,
+or (for SNDlib) a measured demand subset.  This module fits the two
+classic estimators over whatever marginals are available and emits
+:class:`~repro.demands.traffic_matrix.TrafficMatrixSeries`, so fitted
+real-topology traffic composes with everything downstream (batch
+evaluation, scenario grids, :class:`~repro.stream.sources.ReplayStream`
+replay):
+
+* **gravity** (:func:`fit_gravity`): ``d(s, t) ∝ w_out(s) · w_in(t)``.
+  Weights come, in order of preference, from explicit per-node
+  populations, from a known demand matrix's marginals (SNDlib entries),
+  or from incident capacity (a node that terminates more capacity
+  originates more traffic).
+* **maximum entropy** (:func:`max_entropy_demand`): the least-informative
+  matrix consistent with given row/column marginals, computed by
+  iterative proportional fitting (Sinkhorn/RAS) over the zero-diagonal
+  pair simplex.  :func:`marginals_from_link_loads` derives node
+  marginals from per-link load (or capacity) counters first.
+
+Both series builders consume randomness only from the passed generator
+(per-snapshot multiplicative weight jitter), so fitted series obey the
+same replay-determinism contract as every synthetic demand model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.demands.demand import Demand, Pair
+from repro.demands.traffic_matrix import TrafficMatrixSeries
+from repro.exceptions import NetError
+from repro.graphs.network import Network, Vertex, edge_key
+from repro.utils.rng import RngLike, ensure_rng
+
+#: No node may claim more than this share of the total volume: keeps the
+#: zero-diagonal IPF problem strictly feasible under marginal jitter.
+_MAX_MARGINAL_SHARE = 0.35
+
+
+# --------------------------------------------------------------------- #
+# Weight / marginal sources
+# --------------------------------------------------------------------- #
+def capacity_weights(network: Network) -> Dict[Vertex, float]:
+    """Per-node weight: total incident capacity (the structural proxy)."""
+    weights: Dict[Vertex, float] = {vertex: 0.0 for vertex in network.vertices}
+    for edge in network.edges:
+        capacity = network.capacity_of(edge)
+        weights[edge[0]] += capacity
+        weights[edge[1]] += capacity
+    return weights
+
+
+def population_weights(
+    network: Network, populations: Optional[Mapping[Vertex, float]] = None
+) -> Optional[Dict[Vertex, float]]:
+    """Per-node weights from populations (argument or node attributes).
+
+    Returns ``None`` when no node carries a population signal, so
+    callers can fall back to :func:`capacity_weights`.
+    """
+    if populations is not None:
+        chosen = dict(populations)
+    else:
+        # Dataset attributes arrive as raw strings; surface bad values
+        # as the subsystem's typed error, not a bare ValueError.
+        chosen = {}
+        for vertex in network.vertices:
+            raw = network.graph.nodes[vertex].get("population")
+            if raw in (None, ""):
+                continue
+            try:
+                chosen[vertex] = float(raw)
+            except (TypeError, ValueError):
+                raise NetError(
+                    f"node {vertex!r} has non-numeric population {raw!r}"
+                ) from None
+    if not chosen:
+        return None
+    try:
+        weights = {vertex: float(chosen.get(vertex, 0.0)) for vertex in network.vertices}
+    except (TypeError, ValueError) as error:
+        raise NetError(f"population weights must be numeric: {error}") from None
+    if any(value < 0 for value in weights.values()):
+        raise NetError("population weights must be nonnegative")
+    if sum(weights.values()) <= 0:
+        raise NetError("population weights must have positive total")
+    return weights
+
+
+def demand_marginals(
+    network: Network, demands: Mapping[Pair, float]
+) -> Tuple[Dict[Vertex, float], Dict[Vertex, float]]:
+    """(egress, ingress) per-node volumes of a known demand matrix."""
+    out_totals: Dict[Vertex, float] = {vertex: 0.0 for vertex in network.vertices}
+    in_totals: Dict[Vertex, float] = {vertex: 0.0 for vertex in network.vertices}
+    for (source, target), value in demands.items():
+        if source not in out_totals or target not in in_totals:
+            raise NetError(
+                f"demand pair {(source, target)!r} references vertices outside the network"
+            )
+        out_totals[source] += float(value)
+        in_totals[target] += float(value)
+    return out_totals, in_totals
+
+
+def marginals_from_link_loads(
+    network: Network, loads: Optional[Mapping] = None
+) -> Dict[Vertex, float]:
+    """Node volume marginals inferred from per-link load counters.
+
+    Each unit of load on a link is attributed half to either endpoint —
+    the simplest tomogravity-style aggregation: transit load cancels in
+    expectation, terminating load does not.  With ``loads`` omitted the
+    link capacities serve as the load proxy (a fully-subscribed
+    network).  Keys may be canonical edge keys or ``(u, v)`` tuples in
+    either orientation; unknown edges raise :class:`NetError`.
+    """
+    if loads is None:
+        resolved = {edge: network.capacity_of(edge) for edge in network.edges}
+    else:
+        resolved = {}
+        for raw_edge, value in loads.items():
+            key = edge_key(raw_edge[0], raw_edge[1])
+            if not network.has_edge(*key):
+                raise NetError(f"link load references unknown edge {raw_edge!r}")
+            resolved[key] = resolved.get(key, 0.0) + float(value)
+    marginals = {vertex: 0.0 for vertex in network.vertices}
+    for (u, v), load in resolved.items():
+        if load < 0:
+            raise NetError(f"link load for edge {(u, v)!r} is negative")
+        marginals[u] += 0.5 * load
+        marginals[v] += 0.5 * load
+    return marginals
+
+
+# --------------------------------------------------------------------- #
+# Gravity fitting
+# --------------------------------------------------------------------- #
+def fit_gravity(
+    network: Network,
+    total: float = 10.0,
+    out_weights: Optional[Mapping[Vertex, float]] = None,
+    in_weights: Optional[Mapping[Vertex, float]] = None,
+    demands: Optional[Mapping[Pair, float]] = None,
+    populations: Optional[Mapping[Vertex, float]] = None,
+) -> Demand:
+    """A deterministic gravity demand fitted to the best available signal.
+
+    Weight preference order: explicit ``out_weights``/``in_weights``, a
+    known ``demands`` matrix (its egress/ingress marginals), per-node
+    ``populations`` (argument or node attribute), incident capacity.
+    """
+    if total <= 0:
+        raise NetError("gravity total volume must be positive")
+    if out_weights is None and demands:
+        demand_out, demand_in = demand_marginals(network, demands)
+        out_weights = demand_out
+        if in_weights is None:  # never clobber caller-supplied weights
+            in_weights = demand_in
+    if out_weights is None:
+        out_weights = population_weights(network, populations) or capacity_weights(network)
+    resolved_out = {v: float(out_weights.get(v, 0.0)) for v in network.vertices}
+    resolved_in = (
+        {v: float(in_weights.get(v, 0.0)) for v in network.vertices}
+        if in_weights is not None
+        else dict(resolved_out)
+    )
+    normalizer = sum(
+        resolved_out[s] * resolved_in[t]
+        for s in network.vertices
+        for t in network.vertices
+        if s != t
+    )
+    if normalizer <= 0:
+        raise NetError("gravity weights must have positive pairwise products")
+    values = {
+        (s, t): total * resolved_out[s] * resolved_in[t] / normalizer
+        for s in network.vertices
+        for t in network.vertices
+        if s != t and resolved_out[s] * resolved_in[t] > 0
+    }
+    return Demand(values, network=network)
+
+
+def fitted_gravity_series(
+    network: Network,
+    num_snapshots: int,
+    total: float = 10.0,
+    jitter: float = 0.1,
+    rng: RngLike = None,
+    demands: Optional[Mapping[Pair, float]] = None,
+    populations: Optional[Mapping[Vertex, float]] = None,
+) -> TrafficMatrixSeries:
+    """A gravity series around the fitted base weights.
+
+    Every snapshot multiplies each node's weight by an independent
+    lognormal factor (``sigma = jitter``) before rebuilding the gravity
+    matrix — node-level volume drift rather than pair-level noise, which
+    is how real ingress volumes move.
+    """
+    if num_snapshots < 1:
+        raise NetError("need at least one snapshot")
+    if jitter < 0:
+        raise NetError("jitter must be nonnegative")
+    generator = ensure_rng(rng)
+    if demands:
+        base_out, base_in = demand_marginals(network, demands)
+    else:
+        base_out = population_weights(network, populations) or capacity_weights(network)
+        base_in = dict(base_out)
+    vertices = network.vertices
+    snapshots = []
+    for _ in range(num_snapshots):
+        factors = np.exp(jitter * generator.normal(size=len(vertices)))
+        out_weights = {
+            vertex: base_out[vertex] * float(factor)
+            for vertex, factor in zip(vertices, factors)
+        }
+        in_factors = np.exp(jitter * generator.normal(size=len(vertices)))
+        in_weights = {
+            vertex: base_in[vertex] * float(factor)
+            for vertex, factor in zip(vertices, in_factors)
+        }
+        snapshots.append(
+            fit_gravity(network, total=total, out_weights=out_weights, in_weights=in_weights)
+        )
+    return TrafficMatrixSeries(snapshots=snapshots)
+
+
+# --------------------------------------------------------------------- #
+# Maximum-entropy fitting (iterative proportional fitting)
+# --------------------------------------------------------------------- #
+def _clip_marginals(values: "np.ndarray", volume: float) -> "np.ndarray":
+    """Scale marginals to ``volume`` with no entry above the share cap.
+
+    Water-filling: entries over the cap are pinned to it and the excess
+    is redistributed proportionally over the rest (repeating, since the
+    redistribution can push new entries over).  The result sums to
+    ``volume`` with every entry at most ``cap`` — keeping the
+    zero-diagonal IPF problem feasible — unlike a clip-then-renormalize,
+    which would scale clipped entries straight back over the cap.
+    """
+    cap = max(_MAX_MARGINAL_SHARE, 1.0 / len(values)) * volume
+    scaled = values * (volume / values.sum())
+    for _ in range(len(values)):
+        if not np.any(scaled > cap * (1.0 + 1e-12)):
+            return scaled
+        over = scaled >= cap
+        free = ~over
+        remaining = volume - cap * float(over.sum())
+        free_sum = float(scaled[free].sum()) if np.any(free) else 0.0
+        if remaining <= 0 or free_sum <= 0:
+            raise NetError(
+                "marginals are too concentrated to fit with zero self-traffic: "
+                f"{int(over.sum())} of {len(values)} nodes would exceed a "
+                f"{cap / volume:.0%} share of the total volume"
+            )
+        scaled = np.where(over, cap, scaled)
+        scaled[free] *= remaining / free_sum
+    return scaled
+
+
+def max_entropy_demand(
+    network: Network,
+    out_marginals: Mapping[Vertex, float],
+    in_marginals: Optional[Mapping[Vertex, float]] = None,
+    total: Optional[float] = None,
+    tolerance: float = 1e-9,
+    max_iterations: int = 1000,
+) -> Demand:
+    """The maximum-entropy demand matching per-node volume marginals.
+
+    Runs iterative proportional fitting (Sinkhorn/RAS) on the
+    zero-diagonal pair matrix: alternately rescale rows to the egress
+    marginals and columns to the ingress marginals until both match
+    within ``tolerance`` (relative to the total volume).  Marginals are
+    normalized to a common ``total`` (default: the egress sum) and
+    clipped to at most ``0.35 · total`` per node, which keeps the
+    zero-diagonal problem strictly feasible; IPF then converges to the
+    unique entropy maximizer.  Non-convergence raises :class:`NetError`.
+    """
+    vertices = network.vertices
+    if len(vertices) < 2:
+        raise NetError("max-entropy fitting needs at least two vertices")
+    if max_iterations < 1:
+        raise NetError("max_iterations must be at least 1")
+    row = np.array([float(out_marginals.get(v, 0.0)) for v in vertices])
+    if in_marginals is None:
+        col = row.copy()
+    else:
+        col = np.array([float(in_marginals.get(v, 0.0)) for v in vertices])
+    if np.any(row < 0) or np.any(col < 0):
+        raise NetError("marginals must be nonnegative")
+    if row.sum() <= 0 or col.sum() <= 0:
+        raise NetError("marginals must have positive totals")
+    volume = float(total) if total is not None else float(row.sum())
+    if volume <= 0:
+        raise NetError("total volume must be positive")
+    row = _clip_marginals(row, volume)
+    col = _clip_marginals(col, volume)
+
+    matrix = np.outer(row, col) / volume
+    np.fill_diagonal(matrix, 0.0)
+    for _ in range(max_iterations):
+        row_sums = matrix.sum(axis=1)
+        matrix *= np.divide(
+            row, row_sums, out=np.zeros_like(row), where=row_sums > 0
+        )[:, None]
+        col_sums = matrix.sum(axis=0)
+        matrix *= np.divide(
+            col, col_sums, out=np.zeros_like(col), where=col_sums > 0
+        )[None, :]
+        residual = max(
+            float(np.max(np.abs(matrix.sum(axis=1) - row))),
+            float(np.max(np.abs(matrix.sum(axis=0) - col))),
+        )
+        if residual <= tolerance * volume:
+            break
+    else:
+        raise NetError(
+            f"iterative proportional fitting did not converge within "
+            f"{max_iterations} iterations (residual {residual:.3e})"
+        )
+    cutoff = 1e-12 * volume
+    values = {
+        (s, t): float(matrix[i, j])
+        for i, s in enumerate(vertices)
+        for j, t in enumerate(vertices)
+        if i != j and matrix[i, j] > cutoff
+    }
+    return Demand(values, network=network)
+
+
+def max_entropy_series(
+    network: Network,
+    num_snapshots: int,
+    total: float = 10.0,
+    jitter: float = 0.15,
+    rng: RngLike = None,
+    loads: Optional[Mapping] = None,
+) -> TrafficMatrixSeries:
+    """A max-entropy series from jittered link-load marginals.
+
+    The base marginals come from :func:`marginals_from_link_loads`
+    (capacities by default); each snapshot jitters them with lognormal
+    node factors and re-runs the IPF fit, modelling measured-counter
+    drift around a structural baseline.
+    """
+    if num_snapshots < 1:
+        raise NetError("need at least one snapshot")
+    if jitter < 0:
+        raise NetError("jitter must be nonnegative")
+    generator = ensure_rng(rng)
+    base = marginals_from_link_loads(network, loads)
+    vertices = network.vertices
+    snapshots = []
+    for _ in range(num_snapshots):
+        out_factors = np.exp(jitter * generator.normal(size=len(vertices)))
+        in_factors = np.exp(jitter * generator.normal(size=len(vertices)))
+        out_marginals = {
+            vertex: base[vertex] * float(factor)
+            for vertex, factor in zip(vertices, out_factors)
+        }
+        in_marginals = {
+            vertex: base[vertex] * float(factor)
+            for vertex, factor in zip(vertices, in_factors)
+        }
+        snapshots.append(
+            max_entropy_demand(
+                network, out_marginals, in_marginals, total=total
+            )
+        )
+    return TrafficMatrixSeries(snapshots=snapshots)
+
+
+__all__ = [
+    "capacity_weights",
+    "population_weights",
+    "demand_marginals",
+    "marginals_from_link_loads",
+    "fit_gravity",
+    "fitted_gravity_series",
+    "max_entropy_demand",
+    "max_entropy_series",
+]

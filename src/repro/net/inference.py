@@ -1,0 +1,126 @@
+"""Capacity and latency inference rules for ingested topologies.
+
+Real topology datasets are messy: Topology Zoo annotates links with raw
+bit-per-second speeds (sometimes), SNDlib instances carry module
+capacities in dataset-specific units, and plenty of links carry no
+annotation at all.  :class:`CapacityRules` centralizes how raw
+annotations become the repo's ``capacity`` numbers so every parser (and
+every test) applies the same policy:
+
+* explicit link speeds are divided by ``speed_unit`` (default 1e9, i.e.
+  capacities are expressed in Gbit/s),
+* unannotated links get ``default_capacity``,
+* node coordinates, when present, yield a distance-based ``latency``
+  edge attribute (great-circle kilometres over ``propagation_km_per_ms``
+  kilometres per millisecond), usable as a shortest-path weight.
+
+The rules are a plain dataclass: callers needing different units pass
+their own instance to the parsers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from repro.exceptions import TopologyFormatError
+
+#: Mean Earth radius in kilometres (great-circle distance).
+_EARTH_RADIUS_KM = 6371.0
+
+
+@dataclass(frozen=True)
+class CapacityRules:
+    """How raw link annotations become capacities and latencies.
+
+    Parameters
+    ----------
+    default_capacity:
+        Capacity assigned to links with no usable speed annotation.
+    speed_unit:
+        Divisor applied to raw link speeds (bit/s); the default 1e9
+        expresses capacities in Gbit/s.
+    min_capacity:
+        Floor applied after scaling, so a 64 kbit/s historical link
+        still yields a positive, routable capacity.
+    propagation_km_per_ms:
+        Signal propagation speed used for distance-based latency
+        (~200 km/ms in fibre).
+    default_latency_ms:
+        Latency assigned when either endpoint has no coordinates.
+    """
+
+    default_capacity: float = 1.0
+    speed_unit: float = 1e9
+    min_capacity: float = 1e-3
+    propagation_km_per_ms: float = 200.0
+    default_latency_ms: float = 1.0
+
+    def capacity_from_speed(self, raw_speed: Optional[float]) -> float:
+        """Scaled capacity for a raw bit/s annotation (or the default)."""
+        if raw_speed is None or raw_speed <= 0:
+            return self.default_capacity
+        return max(raw_speed / self.speed_unit, self.min_capacity)
+
+    def capacity_from_modules(
+        self, pre_installed: float, module_capacities: Iterable[float]
+    ) -> float:
+        """The SNDlib capacity policy, shared by both SNDlib parsers.
+
+        Pre-installed capacity wins when positive; otherwise the largest
+        installable module; otherwise the default.  Module capacities
+        are in dataset units, so no ``speed_unit`` scaling applies.
+        """
+        if pre_installed > 0:
+            return pre_installed
+        positive = [capacity for capacity in module_capacities if capacity > 0]
+        return max(positive) if positive else self.default_capacity
+
+    def latency_between(
+        self,
+        first: Optional[Tuple[float, float]],
+        second: Optional[Tuple[float, float]],
+    ) -> float:
+        """Propagation latency (ms) between two (lat, lon) coordinates."""
+        if first is None or second is None:
+            return self.default_latency_ms
+        return haversine_km(first, second) / self.propagation_km_per_ms
+
+
+def haversine_km(first: Tuple[float, float], second: Tuple[float, float]) -> float:
+    """Great-circle distance in kilometres between (lat, lon) points."""
+    lat1, lon1 = (math.radians(value) for value in first)
+    lat2, lon2 = (math.radians(value) for value in second)
+    half_dlat = (lat2 - lat1) / 2.0
+    half_dlon = (lon2 - lon1) / 2.0
+    chord = (
+        math.sin(half_dlat) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin(half_dlon) ** 2
+    )
+    return 2.0 * _EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(chord)))
+
+
+def parse_float(
+    text: str, what: str, source: str = "", line: int = 0
+) -> float:
+    """``float(text)`` with a :class:`TopologyFormatError` on failure.
+
+    Non-finite values (``nan``/``inf``) are rejected too: a NaN capacity
+    would slip past every ``<= 0`` guard and poison downstream
+    congestion metrics silently.
+    """
+    try:
+        value = float(text)
+    except (TypeError, ValueError):
+        raise TopologyFormatError(
+            f"{what} is not a number: {text!r}", source=source, line=line
+        ) from None
+    if not math.isfinite(value):
+        raise TopologyFormatError(
+            f"{what} must be finite, got {text!r}", source=source, line=line
+        )
+    return value
+
+
+__all__ = ["CapacityRules", "haversine_km", "parse_float"]

@@ -1,0 +1,103 @@
+"""Scenario-axis registration for the ingestion layer.
+
+Imported lazily by :mod:`repro.scenarios.spec` (see
+``_EXTENSION_AXIS_MODULES``); importing it registers:
+
+* topology kinds ``zoo`` and ``sndlib`` — bundled catalog topologies,
+  addressed as ``zoo(abilene)`` / ``sndlib(geant)``.  Validation runs at
+  spec-parse time: an unknown catalog name fails immediately with the
+  available names, never deep inside a worker process;
+* demand kinds ``fitted-gravity`` and ``max-entropy`` — the fitted
+  demand models of :mod:`repro.net.fitting`, usable on *any* topology
+  (capacity-derived weights) but designed for the heterogeneous
+  capacities of real networks.
+
+Catalog topologies are deterministic, so — like the other deterministic
+kinds — they ignore the per-topology generator the runner passes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.graphs.network import Network
+from repro.net.catalog import available_topologies, load_catalog_topology
+from repro.net.fitting import fitted_gravity_series, max_entropy_series
+from repro.scenarios.spec import (
+    ScenarioError,
+    register_demand_kind,
+    register_topology_kind,
+)
+
+
+def _catalog_validate(format: str):
+    def validate(size: Optional[int], params: Dict[str, Any]) -> None:
+        names = available_topologies(format)
+        name = params.get("name")
+        if not name:
+            raise ScenarioError(
+                f"{format} topology needs a catalog name, e.g. "
+                f"{format}({names[0]}); available: {names}"
+            )
+        if name not in names:
+            raise ScenarioError(
+                f"unknown {format} catalog topology {name!r}; available: {names}"
+            )
+        if size is not None:
+            raise ScenarioError(
+                f"{format} topologies are fixed-size; drop the size argument"
+            )
+        extra = sorted(set(params) - {"name"})
+        if extra:
+            raise ScenarioError(
+                f"unknown {format} topology parameters {extra}; only 'name' is accepted"
+            )
+
+    return validate
+
+
+def _catalog_build(format: str):
+    def build(size: Optional[int], params: Dict[str, Any], rng) -> Network:
+        return load_catalog_topology(params["name"], format=format)
+
+    return build
+
+
+def _series_fitted_gravity(network, snapshots, rng, params):
+    return fitted_gravity_series(
+        network,
+        snapshots,
+        total=float(params.get("total", 10.0)),
+        jitter=float(params.get("jitter", 0.1)),
+        rng=rng,
+    )
+
+
+def _series_max_entropy(network, snapshots, rng, params):
+    return max_entropy_series(
+        network,
+        snapshots,
+        total=float(params.get("total", 10.0)),
+        jitter=float(params.get("jitter", 0.15)),
+        rng=rng,
+    )
+
+
+# overwrite=True keeps registration idempotent: if this module's import
+# fails partway once, the spec layer retries it on the next axis use.
+register_topology_kind(
+    "zoo",
+    _catalog_build("zoo"),
+    "bundled Topology Zoo catalog entry: zoo(abilene)",
+    validate=_catalog_validate("zoo"),
+    overwrite=True,
+)
+register_topology_kind(
+    "sndlib",
+    _catalog_build("sndlib"),
+    "bundled SNDlib catalog entry: sndlib(geant)",
+    validate=_catalog_validate("sndlib"),
+    overwrite=True,
+)
+register_demand_kind("fitted-gravity", _series_fitted_gravity, overwrite=True)
+register_demand_kind("max-entropy", _series_max_entropy, overwrite=True)

@@ -1,0 +1,362 @@
+"""SNDlib instance ingestion (native text and XML formats).
+
+`SNDlib <http://sndlib.zib.de/>`_ publishes survivable-network-design
+instances — real carrier topologies (GÉANT, Polska, Nobel-Germany, …)
+with link capacity modules and, usually, a measured demand matrix.  Two
+on-disk formats exist and both are supported:
+
+* the *native* format: ``?SNDlib native format`` header followed by
+  ``NODES ( … ) LINKS ( … ) DEMANDS ( … )`` sections, one entry per
+  line;
+* the *XML* format: a ``<network>`` document with
+  ``networkStructure/nodes|links`` and a ``demands`` section.
+
+Parsing yields an :class:`SndlibInstance`: the
+:class:`~repro.graphs.network.Network` plus the instance's demand matrix
+(raw pair -> value, empty when the instance carries none).  Capacity
+inference: a link's capacity is its pre-installed capacity when
+positive, otherwise its largest installable module, otherwise
+``rules.default_capacity``; node coordinates (SNDlib order: longitude
+then latitude) yield the same distance-based ``latency`` edge attribute
+as the GraphML parser.
+
+All diagnostics are :class:`~repro.exceptions.TopologyFormatError` with
+the source name and — for the line-oriented native format — the 1-based
+offending line.
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.exceptions import TopologyFormatError
+from repro.graphs.network import Network
+from repro.net._common import local_name as _local_name
+from repro.net._common import parse_xml_root, read_topology_file
+from repro.net.inference import CapacityRules, parse_float
+
+Pair = Tuple[str, str]
+
+_NATIVE_HEADER = "?SNDlib native format"
+_SECTION_RE = re.compile(r"^([A-Z_]+)\s*\($")
+#: ``id ( source target ) rest`` — the common shape of LINKS/DEMANDS lines.
+_ENTRY_RE = re.compile(r"^(\S+)\s*\(\s*(\S+)\s+(\S+)\s*\)\s*(.*)$")
+
+
+@dataclass
+class SndlibInstance:
+    """A parsed SNDlib instance: the network plus its demand matrix."""
+
+    network: Network
+    demands: Dict[Pair, float] = field(default_factory=dict)
+
+    @property
+    def has_demands(self) -> bool:
+        return bool(self.demands)
+
+    def total_demand(self) -> float:
+        return sum(self.demands.values())
+
+
+def _strip_comment(line: str) -> str:
+    return line.split("#", 1)[0].strip()
+
+
+def _module_capacities(
+    modules_text: str, source: str, line_number: int
+) -> List[float]:
+    """Installable module capacities from ``( cap cost cap cost … )``."""
+    tokens = modules_text.replace("(", " ").replace(")", " ").split()
+    return [
+        parse_float(tokens[index], "module capacity", source=source, line=line_number)
+        for index in range(0, len(tokens) - 1, 2)
+    ]
+
+
+def parse_sndlib_native(
+    text: str,
+    name: str = "sndlib",
+    rules: Optional[CapacityRules] = None,
+    source: str = "",
+) -> SndlibInstance:
+    """Parse an SNDlib *native format* document."""
+    rules = rules if rules is not None else CapacityRules()
+    source = source or name
+    lines = text.splitlines()
+    if not lines or not lines[0].strip().startswith(_NATIVE_HEADER):
+        raise TopologyFormatError(
+            f"missing {_NATIVE_HEADER!r} header", source=source, line=1
+        )
+
+    # MultiGraph: Network's constructor sums parallel-link capacities.
+    graph = nx.MultiGraph()
+    coordinates: Dict[str, Tuple[float, float]] = {}
+    demands: Dict[Pair, float] = {}
+    section: Optional[str] = None
+    for line_number, raw_line in enumerate(lines[1:], start=2):
+        line = _strip_comment(raw_line)
+        if not line:
+            continue
+        match = _SECTION_RE.match(line)
+        if match:
+            if section is not None:
+                raise TopologyFormatError(
+                    f"section {match.group(1)} opened inside {section}",
+                    source=source,
+                    line=line_number,
+                )
+            section = match.group(1)
+            continue
+        if line == ")":
+            section = None
+            continue
+        if section == "NODES":
+            entry = _ENTRY_RE.match(line)
+            if entry is None:
+                raise TopologyFormatError(
+                    f"malformed NODES entry {line!r} "
+                    "(expected 'id ( longitude latitude )')",
+                    source=source,
+                    line=line_number,
+                )
+            node_id, longitude_text, latitude_text, _rest = entry.groups()
+            if graph.has_node(node_id):
+                raise TopologyFormatError(
+                    f"duplicate node {node_id!r}", source=source, line=line_number
+                )
+            longitude = parse_float(longitude_text, "longitude", source, line_number)
+            latitude = parse_float(latitude_text, "latitude", source, line_number)
+            coordinates[node_id] = (latitude, longitude)
+            graph.add_node(node_id, latitude=latitude, longitude=longitude)
+        elif section == "LINKS":
+            entry = _ENTRY_RE.match(line)
+            if entry is None:
+                raise TopologyFormatError(
+                    f"malformed LINKS entry {line!r} "
+                    "(expected 'id ( source target ) …')",
+                    source=source,
+                    line=line_number,
+                )
+            _link_id, u, v, rest = entry.groups()
+            for endpoint in (u, v):
+                if not graph.has_node(endpoint):
+                    raise TopologyFormatError(
+                        f"link references unknown node {endpoint!r}",
+                        source=source,
+                        line=line_number,
+                    )
+            if u == v:
+                continue
+            fields = rest.split("(", 1)
+            numbers = fields[0].split()
+            pre_installed = (
+                parse_float(numbers[0], "pre-installed capacity", source, line_number)
+                if numbers
+                else 0.0
+            )
+            modules = (
+                _module_capacities(fields[1], source, line_number)
+                if len(fields) > 1
+                else []
+            )
+            capacity = rules.capacity_from_modules(pre_installed, modules)
+            latency = rules.latency_between(coordinates.get(u), coordinates.get(v))
+            graph.add_edge(u, v, capacity=capacity, latency=latency)
+        elif section == "DEMANDS":
+            entry = _ENTRY_RE.match(line)
+            if entry is None:
+                raise TopologyFormatError(
+                    f"malformed DEMANDS entry {line!r}",
+                    source=source,
+                    line=line_number,
+                )
+            _demand_id, origin, destination, rest = entry.groups()
+            for endpoint in (origin, destination):
+                if not graph.has_node(endpoint):
+                    raise TopologyFormatError(
+                        f"demand references unknown node {endpoint!r}",
+                        source=source,
+                        line=line_number,
+                    )
+            numbers = rest.split()
+            if len(numbers) < 2:
+                raise TopologyFormatError(
+                    f"demand entry {line!r} has no value field",
+                    source=source,
+                    line=line_number,
+                )
+            value = parse_float(numbers[1], "demand value", source, line_number)
+            if origin != destination and value > 0:
+                pair = (origin, destination)
+                demands[pair] = demands.get(pair, 0.0) + value
+        # Other sections (META, ADMISSIBLE_PATHS, …) are ignored.
+    if section is not None:
+        raise TopologyFormatError(
+            f"unterminated section {section}", source=source, line=len(lines)
+        )
+    if not graph.number_of_nodes():
+        raise TopologyFormatError("document declares no nodes", source=source)
+    try:
+        network = Network(graph, name=name)
+    except Exception as error:
+        raise TopologyFormatError(str(error), source=source) from error
+    return SndlibInstance(network=network, demands=demands)
+
+
+# --------------------------------------------------------------------- #
+# XML format
+# --------------------------------------------------------------------- #
+def _find(element: ET.Element, name: str) -> Optional[ET.Element]:
+    return next(
+        (child for child in element.iter() if _local_name(child.tag) == name), None
+    )
+
+
+def _children(element: ET.Element, name: str) -> List[ET.Element]:
+    return [child for child in element.iter() if _local_name(child.tag) == name]
+
+
+def _child_text(element: ET.Element, name: str) -> Optional[str]:
+    child = _find(element, name)
+    if child is None or child.text is None:
+        return None
+    return child.text.strip()
+
+
+def parse_sndlib_xml(
+    text: str,
+    name: str = "sndlib",
+    rules: Optional[CapacityRules] = None,
+    source: str = "",
+) -> SndlibInstance:
+    """Parse an SNDlib *XML format* document."""
+    rules = rules if rules is not None else CapacityRules()
+    source = source or name
+    root = parse_xml_root(text, source, "SNDlib XML")
+    if _local_name(root.tag) != "network":
+        raise TopologyFormatError(
+            f"root element is <{_local_name(root.tag)}>, expected <network>",
+            source=source,
+        )
+    structure = _find(root, "networkStructure")
+    if structure is None:
+        raise TopologyFormatError(
+            "document contains no <networkStructure>", source=source
+        )
+
+    # MultiGraph: Network's constructor sums parallel-link capacities.
+    graph = nx.MultiGraph()
+    coordinates: Dict[str, Tuple[float, float]] = {}
+    for node in _children(structure, "node"):
+        node_id = node.get("id")
+        if node_id is None:
+            raise TopologyFormatError("<node> element without an id", source=source)
+        if graph.has_node(node_id):
+            raise TopologyFormatError(f"duplicate node {node_id!r}", source=source)
+        attrs: Dict[str, float] = {}
+        x_text, y_text = _child_text(node, "x"), _child_text(node, "y")
+        if x_text is not None and y_text is not None:
+            longitude = parse_float(x_text, "node x coordinate", source=source)
+            latitude = parse_float(y_text, "node y coordinate", source=source)
+            coordinates[node_id] = (latitude, longitude)
+            attrs = {"latitude": latitude, "longitude": longitude}
+        graph.add_node(node_id, **attrs)
+    if not graph.number_of_nodes():
+        raise TopologyFormatError("document declares no nodes", source=source)
+
+    for link in _children(structure, "link"):
+        u, v = _child_text(link, "source"), _child_text(link, "target")
+        if u is None or v is None:
+            raise TopologyFormatError(
+                f"link {link.get('id')!r} lacks source/target elements", source=source
+            )
+        for endpoint in (u, v):
+            if not graph.has_node(endpoint):
+                raise TopologyFormatError(
+                    f"link {link.get('id')!r} references unknown node {endpoint!r}",
+                    source=source,
+                )
+        if u == v:
+            continue
+        pre_installed = 0.0
+        pre_module = _find(link, "preInstalledModule")
+        if pre_module is not None:
+            capacity_text = _child_text(pre_module, "capacity")
+            if capacity_text is not None:
+                pre_installed = parse_float(
+                    capacity_text, "preInstalledModule capacity", source=source
+                )
+        modules = [
+            parse_float(capacity_text, "addModule capacity", source=source)
+            for module in _children(link, "addModule")
+            if (capacity_text := _child_text(module, "capacity")) is not None
+        ]
+        capacity = rules.capacity_from_modules(pre_installed, modules)
+        latency = rules.latency_between(coordinates.get(u), coordinates.get(v))
+        graph.add_edge(u, v, capacity=capacity, latency=latency)
+
+    demands: Dict[Pair, float] = {}
+    demands_section = _find(root, "demands")
+    if demands_section is not None:
+        for demand in _children(demands_section, "demand"):
+            origin, destination = _child_text(demand, "source"), _child_text(demand, "target")
+            value_text = _child_text(demand, "demandValue")
+            if origin is None or destination is None or value_text is None:
+                raise TopologyFormatError(
+                    f"demand {demand.get('id')!r} lacks source/target/demandValue",
+                    source=source,
+                )
+            for endpoint in (origin, destination):
+                if not graph.has_node(endpoint):
+                    raise TopologyFormatError(
+                        f"demand {demand.get('id')!r} references unknown node "
+                        f"{endpoint!r}",
+                        source=source,
+                    )
+            value = parse_float(value_text, "demandValue", source=source)
+            if origin != destination and value > 0:
+                pair = (origin, destination)
+                demands[pair] = demands.get(pair, 0.0) + value
+
+    try:
+        network = Network(graph, name=name)
+    except Exception as error:
+        raise TopologyFormatError(str(error), source=source) from error
+    return SndlibInstance(network=network, demands=demands)
+
+
+def parse_sndlib(
+    text: str,
+    name: str = "sndlib",
+    rules: Optional[CapacityRules] = None,
+    source: str = "",
+) -> SndlibInstance:
+    """Parse SNDlib content, auto-detecting native vs XML format."""
+    stripped = text.lstrip()
+    if stripped.startswith("<"):
+        return parse_sndlib_xml(text, name=name, rules=rules, source=source)
+    return parse_sndlib_native(text, name=name, rules=rules, source=source)
+
+
+def load_sndlib(
+    path: str, name: Optional[str] = None, rules: Optional[CapacityRules] = None
+) -> SndlibInstance:
+    """Read and parse an SNDlib file (name defaults to the file stem)."""
+    text, file_path = read_topology_file(path)
+    return parse_sndlib(
+        text, name=name or file_path.stem, rules=rules, source=file_path.name
+    )
+
+
+__all__ = [
+    "SndlibInstance",
+    "parse_sndlib",
+    "parse_sndlib_native",
+    "parse_sndlib_xml",
+    "load_sndlib",
+]

@@ -23,11 +23,15 @@ from repro.scenarios.spec import (
     ScenarioCell,
     ScenarioError,
     ScenarioSuite,
+    TopologyKind,
     TopologySpec,
     available_demand_kinds,
     available_suites,
+    available_topology_kinds,
     get_suite,
+    register_demand_kind,
     register_suite,
+    register_topology_kind,
 )
 
 __all__ = [
@@ -39,9 +43,13 @@ __all__ = [
     "ScenarioCell",
     "ScenarioError",
     "ScenarioSuite",
+    "TopologyKind",
     "TopologySpec",
     "available_demand_kinds",
     "available_suites",
+    "available_topology_kinds",
     "get_suite",
+    "register_demand_kind",
     "register_suite",
+    "register_topology_kind",
 ]

@@ -39,6 +39,7 @@ Example::
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
@@ -60,34 +61,155 @@ class ScenarioError(ReproError):
 
 
 # --------------------------------------------------------------------- #
-# Topology axis
+# Axis registries
 # --------------------------------------------------------------------- #
-def _build_topology(kind: str, size: Optional[int], params: Dict[str, Any], rng) -> Network:
+#: Modules registering extension axis kinds on import (the ingestion
+#: layer adds ``zoo``/``sndlib`` topologies and the fitted demand
+#: models).  Loaded lazily through :func:`_ensure_extension_axes` so the
+#: spec layer never imports upward eagerly — same pattern as the bench
+#: target registry in :mod:`repro.linalg.bench`.
+_EXTENSION_AXIS_MODULES = ("repro.net.scenario_axes",)
+_extension_axes_loaded = False
+
+
+def _ensure_extension_axes() -> None:
+    global _extension_axes_loaded
+    if _extension_axes_loaded:
+        return
+    import importlib
+
+    # Mark loaded only after success: a failing import surfaces its real
+    # error on every call instead of a misleading "unknown kind" later.
+    # (Extension modules register with overwrite=True, so a retry after
+    # a partial failure is idempotent.)
+    for module in _EXTENSION_AXIS_MODULES:
+        importlib.import_module(module)
+    _extension_axes_loaded = True
+
+
+@dataclass(frozen=True)
+class TopologyKind:
+    """A registered topology-axis kind.
+
+    ``builder(size, params, rng)`` constructs the network;
+    ``validate(size, params)``, when given, runs at *spec-parse* time so
+    a typo'd catalog name or parameter fails before any runner/worker
+    starts (with the available choices in the message).
+    """
+
+    builder: Callable[[Optional[int], Dict[str, Any], Any], Network]
+    description: str = ""
+    validate: Optional[Callable[[Optional[int], Dict[str, Any]], None]] = None
+
+
+_TOPOLOGY_KINDS: Dict[str, TopologyKind] = {}
+
+
+def register_topology_kind(
+    kind: str,
+    builder: Callable[[Optional[int], Dict[str, Any], Any], Network],
+    description: str = "",
+    validate: Optional[Callable[[Optional[int], Dict[str, Any]], None]] = None,
+    overwrite: bool = False,
+) -> None:
+    """Register a topology-axis kind (``builder(size, params, rng)``)."""
+    if kind in _TOPOLOGY_KINDS and not overwrite:
+        raise ScenarioError(
+            f"topology kind {kind!r} is already registered (pass overwrite=True)"
+        )
+    _TOPOLOGY_KINDS[kind] = TopologyKind(builder, description, validate)
+
+
+def available_topology_kinds() -> List[str]:
+    """Canonical names of the registered topology kinds."""
+    _ensure_extension_axes()
+    return sorted(_TOPOLOGY_KINDS)
+
+
+def _register_builtin_topologies() -> None:
     from repro.graphs import topologies
     from repro.graphs.generators import waxman_isp
 
-    if kind == "hypercube":
-        return topologies.hypercube(size if size is not None else 3)
-    if kind == "torus":
-        return topologies.torus_2d(size if size is not None else 3, params.get("cols"))
-    if kind == "grid":
-        return topologies.grid_2d(size if size is not None else 3, params.get("cols"))
-    if kind == "clique":
-        return topologies.complete_graph(size if size is not None else 5)
-    if kind == "fat-tree":
-        return topologies.fat_tree(size if size is not None else 4)
-    if kind == "expander":
-        return topologies.random_regular_expander(
+    register_topology_kind(
+        "hypercube",
+        lambda size, params, rng: topologies.hypercube(size if size is not None else 3),
+        "K-dimensional hypercube",
+    )
+    register_topology_kind(
+        "torus",
+        lambda size, params, rng: topologies.torus_2d(
+            size if size is not None else 3, params.get("cols")
+        ),
+        "2-D torus (wrap-around grid)",
+    )
+    register_topology_kind(
+        "grid",
+        lambda size, params, rng: topologies.grid_2d(
+            size if size is not None else 3, params.get("cols")
+        ),
+        "2-D grid",
+    )
+    register_topology_kind(
+        "clique",
+        lambda size, params, rng: topologies.complete_graph(size if size is not None else 5),
+        "complete graph",
+    )
+    register_topology_kind(
+        "fat-tree",
+        lambda size, params, rng: topologies.fat_tree(size if size is not None else 4),
+        "k-ary fat tree",
+    )
+    register_topology_kind(
+        "expander",
+        lambda size, params, rng: topologies.random_regular_expander(
             size if size is not None else 10, degree=int(params.get("degree", 4)), rng=rng
-        )
-    if kind == "waxman":
-        return waxman_isp(size if size is not None else 12, rng=rng)
-    raise ScenarioError(
-        f"unknown topology kind {kind!r}; available: {sorted(_TOPOLOGY_KINDS)}"
+        ),
+        "random regular expander",
+    )
+    register_topology_kind(
+        "waxman",
+        lambda size, params, rng: waxman_isp(size if size is not None else 12, rng=rng),
+        "random Waxman ISP-like graph",
     )
 
 
-_TOPOLOGY_KINDS = {"hypercube", "torus", "grid", "clique", "fat-tree", "expander", "waxman"}
+_register_builtin_topologies()
+
+
+# ``"kind"`` or ``"kind(positional, key=value, …)"`` axis shorthand.
+_KIND_STRING_RE = re.compile(r"^\s*([\w.-]+)\s*(?:\((.*)\))?\s*$")
+
+
+def _coerce_scalar(text: str) -> Any:
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            return text
+
+
+def _parse_kind_string(text: str, what: str) -> Tuple[str, List[Any], Dict[str, Any]]:
+    """Parse ``"zoo(abilene)"`` / ``"torus(4, cols=5)"`` shorthand."""
+    match = _KIND_STRING_RE.match(text)
+    if not match or (match.group(2) is None and "(" in text):
+        raise ScenarioError(f"cannot parse {what} spec string {text!r}")
+    kind = match.group(1)
+    positional: List[Any] = []
+    params: Dict[str, Any] = {}
+    arguments = match.group(2)
+    if arguments and arguments.strip():
+        for token in arguments.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if "=" in token:
+                key, _, value = token.partition("=")
+                params[key.strip()] = _coerce_scalar(value.strip())
+            else:
+                positional.append(_coerce_scalar(token))
+    return kind, positional, params
 
 
 @dataclass(frozen=True)
@@ -104,18 +226,29 @@ class TopologySpec:
     params: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
+        _ensure_extension_axes()
         if self.kind not in _TOPOLOGY_KINDS:
             raise ScenarioError(
                 f"unknown topology kind {self.kind!r}; available: {sorted(_TOPOLOGY_KINDS)}"
             )
         object.__setattr__(self, "params", tuple(self.params))
+        validate = _TOPOLOGY_KINDS[self.kind].validate
+        if validate is not None:
+            validate(self.size, dict(self.params))
 
     def build(self, rng: RngLike = None) -> Network:
-        return _build_topology(self.kind, self.size, dict(self.params), ensure_rng(rng))
+        _ensure_extension_axes()
+        return _TOPOLOGY_KINDS[self.kind].builder(
+            self.size, dict(self.params), ensure_rng(rng)
+        )
 
     def describe(self) -> str:
-        bits = [] if self.size is None else [str(self.size)]
-        bits += [f"{key}={value}" for key, value in self.params]
+        params = dict(self.params)
+        # Catalog kinds read as zoo(abilene): the name renders bare.
+        bits = [str(params.pop("name"))] if "name" in params else []
+        if self.size is not None:
+            bits.append(str(self.size))
+        bits += [f"{key}={value}" for key, value in sorted(params.items())]
         return f"{self.kind}({', '.join(bits)})" if bits else self.kind
 
     def to_dict(self) -> Dict[str, Any]:
@@ -133,6 +266,29 @@ class TopologySpec:
             raise ScenarioError(f"topology spec needs a 'kind' key: {payload!r}")
         size = mapping.pop("size", None)
         return cls(kind=kind, size=size, params=tuple(sorted(mapping.items())))
+
+    @classmethod
+    def from_string(cls, text: str) -> "TopologySpec":
+        """Parse axis shorthand: ``"torus(4)"``, ``"zoo(abilene)"``.
+
+        An integer positional argument is the size; a non-integer one is
+        the catalog ``name`` parameter.
+        """
+        kind, positional, params = _parse_kind_string(text, "topology")
+        size = None
+        for argument in positional:
+            if isinstance(argument, int) and size is None:
+                size = argument
+            elif isinstance(argument, str) and "name" not in params:
+                params["name"] = argument
+            else:
+                # A second integer (e.g. "grid(3, 5)") must not silently
+                # become a name parameter the builder ignores.
+                raise ScenarioError(
+                    f"cannot interpret positional argument {argument!r} in "
+                    f"topology spec {text!r}; use key=value (e.g. cols=5)"
+                )
+        return cls(kind=kind, size=size, params=tuple(sorted(params.items())))
 
 
 # --------------------------------------------------------------------- #
@@ -215,6 +371,19 @@ _DEMAND_KINDS: Dict[str, Callable[..., TrafficMatrixSeries]] = {
 }
 
 
+def register_demand_kind(
+    kind: str,
+    factory: Callable[..., TrafficMatrixSeries],
+    overwrite: bool = False,
+) -> None:
+    """Register a demand-axis kind (``factory(network, snapshots, rng, params)``)."""
+    if kind in _DEMAND_KINDS and not overwrite:
+        raise ScenarioError(
+            f"demand kind {kind!r} is already registered (pass overwrite=True)"
+        )
+    _DEMAND_KINDS[kind] = factory
+
+
 @dataclass(frozen=True)
 class DemandSpec:
     """One demand-axis entry: a demand model plus its parameters.
@@ -228,6 +397,7 @@ class DemandSpec:
     params: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
+        _ensure_extension_axes()
         if self.kind not in _DEMAND_KINDS:
             raise ScenarioError(
                 f"unknown demand kind {self.kind!r}; available: {sorted(_DEMAND_KINDS)}"
@@ -252,9 +422,20 @@ class DemandSpec:
             raise ScenarioError(f"demand spec needs a 'kind' key: {payload!r}")
         return cls(kind=kind, params=tuple(sorted(mapping.items())))
 
+    @classmethod
+    def from_string(cls, text: str) -> "DemandSpec":
+        """Parse axis shorthand: ``"gravity"``, ``"max-entropy(total=20)"``."""
+        kind, positional, params = _parse_kind_string(text, "demand")
+        if positional:
+            raise ScenarioError(
+                f"demand spec {text!r} takes key=value arguments only"
+            )
+        return cls(kind=kind, params=tuple(sorted(params.items())))
+
 
 def available_demand_kinds() -> List[str]:
     """Canonical names of the registered demand models."""
+    _ensure_extension_axes()
     return sorted(_DEMAND_KINDS)
 
 
@@ -296,6 +477,9 @@ def _coerce(spec: Any, cls: type, what: str) -> Any:
     if isinstance(spec, Mapping):
         return cls.from_dict(spec)
     if isinstance(spec, str):
+        # Axis shorthand where supported: "zoo(abilene)", "torus(4)".
+        if hasattr(cls, "from_string"):
+            return cls.from_string(spec)
         return cls.from_dict({"kind": spec})
     raise ScenarioError(f"cannot interpret {spec!r} as a {what} spec")
 
@@ -529,11 +713,26 @@ def _suite_streaming() -> ScenarioSuite:
     )
 
 
+def _suite_real_world() -> ScenarioSuite:
+    return ScenarioSuite(
+        name="real-world",
+        description="bundled real topologies (ingestion catalog) x fitted demand "
+        "models (gravity, max-entropy from link-load marginals) x failures",
+        topologies=["zoo(abilene)", "sndlib(polska)", "sndlib(nobel-germany)"],
+        demands=[DemandSpec("fitted-gravity"), DemandSpec("max-entropy")],
+        failures=[FailureSpec("none"), FailureSpec("k-edge", params=(("k", 1),))],
+        schemes=("semi-oblivious(racke, alpha=4)", "ksp(k=4)", "spf"),
+        num_snapshots=2,
+        seed=0,
+    )
+
+
 _BUILTIN_SUITES: Dict[str, Callable[[], ScenarioSuite]] = {
     "smoke": _suite_smoke,
     "failures": _suite_failures,
     "diurnal": _suite_diurnal,
     "streaming": _suite_streaming,
+    "real-world": _suite_real_world,
 }
 
 
@@ -558,6 +757,7 @@ def register_suite(name: str, factory: Callable[[], ScenarioSuite], overwrite: b
 
 __all__ = [
     "ScenarioError",
+    "TopologyKind",
     "TopologySpec",
     "DemandSpec",
     "FailureSpec",
@@ -565,6 +765,9 @@ __all__ = [
     "ScenarioSuite",
     "available_demand_kinds",
     "available_suites",
+    "available_topology_kinds",
     "get_suite",
+    "register_demand_kind",
     "register_suite",
+    "register_topology_kind",
 ]

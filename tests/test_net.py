@@ -1,0 +1,459 @@
+"""Tests for the real-network ingestion subsystem (repro.net).
+
+Covers the parsers (well-formed and malformed inputs with typed
+diagnostics), the bundled catalog (metadata consistency for every
+entry), demand fitting (gravity and max-entropy marginal matching,
+determinism), and the ``repro net`` CLI artifacts.
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import NetError, TopologyFormatError
+from repro.graphs.network import Network, edge_key
+from repro.net import (
+    CapacityRules,
+    available_topologies,
+    capacity_weights,
+    catalog_entries,
+    catalog_entry,
+    demand_marginals,
+    fit_gravity,
+    fitted_gravity_series,
+    haversine_km,
+    load_catalog_instance,
+    load_catalog_topology,
+    load_network,
+    marginals_from_link_loads,
+    max_entropy_demand,
+    max_entropy_series,
+    parse_graphml,
+    parse_sndlib,
+    parse_sndlib_native,
+    parse_sndlib_xml,
+)
+
+MINI_GRAPHML = """<?xml version="1.0" encoding="utf-8"?>
+<graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+  <key attr.name="label" attr.type="string" for="node" id="d0" />
+  <key attr.name="Latitude" attr.type="double" for="node" id="d1" />
+  <key attr.name="Longitude" attr.type="double" for="node" id="d2" />
+  <key attr.name="LinkSpeedRaw" attr.type="double" for="edge" id="d3" />
+  <graph edgedefault="undirected">
+    <node id="0"><data key="d0">A</data><data key="d1">0.0</data><data key="d2">0.0</data></node>
+    <node id="1"><data key="d0">B</data><data key="d1">0.0</data><data key="d2">1.0</data></node>
+    <node id="2"><data key="d0">C</data><data key="d1">1.0</data><data key="d2">0.0</data></node>
+    <edge source="0" target="1"><data key="d3">2000000000.0</data></edge>
+    <edge source="1" target="2"><data key="d3">1000000000.0</data></edge>
+    <edge source="2" target="0" />
+  </graph>
+</graphml>
+"""
+
+MINI_SNDLIB = """?SNDlib native format; type: network; version: 1.0
+# mini instance
+
+NODES (
+  A ( 0.0 0.0 )
+  B ( 1.0 0.0 )
+  C ( 0.0 1.0 )
+)
+
+LINKS (
+  L0 ( A B ) 0.00 0.00 0.00 0.00 ( 155.00 10.00 622.00 30.00 )
+  L1 ( B C ) 40.00 0.00 0.00 0.00 ( 155.00 10.00 )
+  L2 ( C A ) 0.00 0.00 0.00 0.00 ( )
+)
+
+DEMANDS (
+  D0 ( A B ) 1 5.00 UNLIMITED
+  D1 ( B C ) 1 3.00 UNLIMITED
+)
+"""
+
+MINI_SNDLIB_XML = """<?xml version="1.0" encoding="utf-8"?>
+<network xmlns="http://sndlib.zib.de/network" version="1.0">
+  <networkStructure>
+    <nodes coordinatesType="geographical">
+      <node id="A"><coordinates><x>0.0</x><y>0.0</y></coordinates></node>
+      <node id="B"><coordinates><x>1.0</x><y>0.0</y></coordinates></node>
+      <node id="C"><coordinates><x>0.0</x><y>1.0</y></coordinates></node>
+    </nodes>
+    <links>
+      <link id="L0"><source>A</source><target>B</target>
+        <preInstalledModule><capacity>40.0</capacity><cost>0.0</cost></preInstalledModule>
+      </link>
+      <link id="L1"><source>B</source><target>C</target>
+        <additionalModules>
+          <addModule><capacity>155.0</capacity><cost>10.0</cost></addModule>
+          <addModule><capacity>622.0</capacity><cost>30.0</cost></addModule>
+        </additionalModules>
+      </link>
+      <link id="L2"><source>C</source><target>A</target></link>
+    </links>
+  </networkStructure>
+  <demands>
+    <demand id="D0"><source>A</source><target>C</target><demandValue>7.0</demandValue></demand>
+  </demands>
+</network>
+"""
+
+
+# --------------------------------------------------------------------- #
+# GraphML parsing
+# --------------------------------------------------------------------- #
+def test_graphml_parses_labels_speeds_and_latency():
+    network = parse_graphml(MINI_GRAPHML, name="mini")
+    assert sorted(network.vertices) == ["A", "B", "C"]
+    assert network.capacity("A", "B") == pytest.approx(2.0)  # 2 Gbit/s
+    assert network.capacity("B", "C") == pytest.approx(1.0)
+    assert network.capacity("C", "A") == pytest.approx(1.0)  # default rule
+    # Distance-based latency: ~111 km per degree at the equator.
+    latency = network.graph["A"]["B"]["latency"]
+    assert latency == pytest.approx(haversine_km((0.0, 0.0), (0.0, 1.0)) / 200.0)
+    assert network.graph.nodes["A"]["latitude"] == 0.0
+
+
+def test_graphml_capacity_rules_are_configurable():
+    rules = CapacityRules(default_capacity=5.0, speed_unit=1e6)
+    network = parse_graphml(MINI_GRAPHML, rules=rules)
+    assert network.capacity("A", "B") == pytest.approx(2000.0)  # Mbit/s units
+    assert network.capacity("C", "A") == pytest.approx(5.0)
+
+
+@pytest.mark.parametrize(
+    "mutation, fragment",
+    [
+        (lambda text: text.replace("<graphml", "<graphml><broken", 1), "not well-formed"),
+        (lambda text: text.replace('target="1"', 'target="9"', 1), "unknown node ids"),
+        (lambda text: text.replace('<node id="1">', '<node id="0">', 1), "duplicate node id"),
+        (lambda text: text.replace("2000000000.0", "fast"), "not a number"),
+        (lambda text: text.replace("graphml>", "qqq>").replace("<graphml", "<qqq"), "expected <graphml>"),
+    ],
+)
+def test_graphml_diagnostics_are_typed(mutation, fragment):
+    with pytest.raises(TopologyFormatError) as excinfo:
+        parse_graphml(mutation(MINI_GRAPHML), name="mini", source="mini.graphml")
+    assert fragment in str(excinfo.value)
+    assert "mini.graphml" in str(excinfo.value)
+
+
+# --------------------------------------------------------------------- #
+# SNDlib parsing
+# --------------------------------------------------------------------- #
+def test_sndlib_native_capacities_and_demands():
+    instance = parse_sndlib_native(MINI_SNDLIB, name="mini")
+    network = instance.network
+    # Largest module when nothing pre-installed; pre-installed wins; default otherwise.
+    assert network.capacity("A", "B") == pytest.approx(622.0)
+    assert network.capacity("B", "C") == pytest.approx(40.0)
+    assert network.capacity("C", "A") == pytest.approx(1.0)
+    assert instance.demands == {("A", "B"): 5.0, ("B", "C"): 3.0}
+    assert instance.total_demand() == pytest.approx(8.0)
+
+
+def test_sndlib_xml_matches_native_semantics():
+    instance = parse_sndlib_xml(MINI_SNDLIB_XML, name="mini")
+    network = instance.network
+    assert network.capacity("A", "B") == pytest.approx(40.0)
+    assert network.capacity("B", "C") == pytest.approx(622.0)
+    assert network.capacity("C", "A") == pytest.approx(1.0)
+    assert instance.demands == {("A", "C"): 7.0}
+
+
+def test_sndlib_format_autodetection():
+    assert parse_sndlib(MINI_SNDLIB).network.num_edges == 3
+    assert parse_sndlib(MINI_SNDLIB_XML).network.num_edges == 3
+
+
+def test_sndlib_native_diagnostics_carry_line_numbers():
+    broken = MINI_SNDLIB.replace("L1 ( B C )", "L1 ( B Z )")
+    with pytest.raises(TopologyFormatError) as excinfo:
+        parse_sndlib_native(broken, source="mini.txt")
+    message = str(excinfo.value)
+    assert "unknown node 'Z'" in message
+    assert "mini.txt:" in message
+    assert excinfo.value.line > 0
+
+    with pytest.raises(TopologyFormatError, match="header"):
+        parse_sndlib_native("NODES (\n)\n", source="mini.txt")
+
+    with pytest.raises(TopologyFormatError, match="malformed NODES entry"):
+        parse_sndlib_native(
+            "?SNDlib native format; type: network; version: 1.0\nNODES (\n  broken-entry\n)\n"
+        )
+
+
+# --------------------------------------------------------------------- #
+# Catalog
+# --------------------------------------------------------------------- #
+def test_catalog_every_entry_parses_and_matches_metadata():
+    entries = catalog_entries()
+    assert len(entries) >= 6
+    assert {entry.format for entry in entries} == {"zoo", "sndlib"}
+    for entry in entries:
+        loaded, instance = load_catalog_instance(entry.qualified_name)
+        network = instance.network
+        assert loaded == entry
+        assert network.num_vertices == entry.nodes
+        assert network.num_edges == entry.links
+        assert instance.has_demands == entry.has_demands
+        assert all(network.capacity_of(edge) > 0 for edge in network.edges)
+
+
+def test_catalog_lookup_spellings_and_errors():
+    assert catalog_entry("zoo(abilene)").name == "abilene"
+    assert catalog_entry("zoo:abilene").name == "abilene"
+    assert catalog_entry("geant").format == "sndlib"
+    with pytest.raises(NetError, match="available"):
+        catalog_entry("zoo(atlantis)")
+    with pytest.raises(NetError, match="unknown catalog topology"):
+        catalog_entry("sndlib(abilene)")  # abilene is a zoo entry
+    assert "abilene" in available_topologies("zoo")
+    assert "geant" in available_topologies("sndlib")
+
+
+def test_load_network_resolves_catalog_and_files(tmp_path):
+    assert load_network("zoo(abilene)").num_vertices == 11
+    graphml_path = tmp_path / "mini.graphml"
+    graphml_path.write_text(MINI_GRAPHML)
+    assert load_network(str(graphml_path)).num_vertices == 3
+    sndlib_path = tmp_path / "mini.txt"
+    sndlib_path.write_text(MINI_SNDLIB)
+    assert load_network(str(sndlib_path)).num_vertices == 3
+    xml_path = tmp_path / "mini.xml"
+    xml_path.write_text(MINI_SNDLIB_XML)
+    assert load_network(str(xml_path)).num_vertices == 3
+    with pytest.raises(NetError, match="cannot resolve network source"):
+        load_network("no-such-topology-anywhere")
+
+
+# --------------------------------------------------------------------- #
+# Demand fitting
+# --------------------------------------------------------------------- #
+def test_gravity_fit_matches_total_and_prefers_demand_marginals():
+    network = load_catalog_topology("sndlib(polska)")
+    _, instance = load_catalog_instance("sndlib(polska)")
+    fitted = fit_gravity(network, total=12.0, demands=instance.demands)
+    assert fitted.size() == pytest.approx(12.0)
+    out_totals, _ = demand_marginals(network, instance.demands)
+    # A node with zero demand marginal must originate nothing.
+    silent = [vertex for vertex, volume in out_totals.items() if volume == 0]
+    for vertex in silent:
+        assert all(source != vertex for (source, _t) in fitted.pairs())
+
+
+def test_capacity_weights_reflect_incident_capacity():
+    network = load_catalog_topology("sndlib(geant)")
+    weights = capacity_weights(network)
+    assert weights["de1.de"] > weights["ie1.ie"]  # hub vs leaf
+
+
+def test_max_entropy_fit_matches_marginals():
+    network = load_catalog_topology("zoo(abilene)")
+    marginals = marginals_from_link_loads(network)
+    fitted = max_entropy_demand(network, marginals, total=20.0)
+    assert fitted.size() == pytest.approx(20.0)
+    out_totals, in_totals = demand_marginals(network, dict(fitted.items()))
+    target_total = 20.0
+    scale = target_total / sum(marginals.values())
+    for vertex, volume in marginals.items():
+        assert out_totals[vertex] == pytest.approx(volume * scale, rel=1e-6)
+        assert in_totals[vertex] == pytest.approx(volume * scale, rel=1e-6)
+
+
+def test_max_entropy_water_fills_dominant_marginals():
+    # One hub claiming ~97% of the volume: the share cap must hold after
+    # redistribution (clip-then-renormalize would push the hub back over
+    # the cap and the zero-diagonal IPF would never converge).
+    network = Network.from_edges([("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")])
+    fitted = max_entropy_demand(
+        network, {"a": 100.0, "b": 1.0, "c": 1.0, "d": 1.0}, total=103.0
+    )
+    assert fitted.size() == pytest.approx(103.0)
+    out_totals, _ = demand_marginals(network, dict(fitted.items()))
+    assert out_totals["a"] <= 0.35 * 103.0 * (1 + 1e-9)
+    # Truly infeasible concentration (every other marginal zero) raises.
+    with pytest.raises(NetError, match="too concentrated"):
+        max_entropy_demand(network, {"a": 1.0, "b": 0.0, "c": 0.0, "d": 0.0})
+
+
+def test_population_weights_reject_non_numeric_attributes():
+    import networkx as nx
+
+    from repro.net import population_weights
+
+    graph = nx.Graph()
+    graph.add_node("a", population="unknown")
+    graph.add_node("b")
+    graph.add_edge("a", "b")
+    with pytest.raises(NetError, match="non-numeric population"):
+        population_weights(Network(graph))
+
+
+def test_fit_gravity_keeps_explicit_in_weights_alongside_demands():
+    network = load_catalog_topology("sndlib(polska)")
+    _, instance = load_catalog_instance("sndlib(polska)")
+    sink = network.vertices[0]
+    only_sink = {vertex: (1.0 if vertex == sink else 0.0) for vertex in network.vertices}
+    fitted = fit_gravity(
+        network, total=5.0, demands=instance.demands, in_weights=only_sink
+    )
+    # Explicit ingress weights must win over the demand-derived marginals.
+    assert all(target == sink for (_source, target) in fitted.pairs())
+
+
+def test_xml_dispatch_uses_root_element_not_substring(tmp_path):
+    # An SNDlib XML whose comment mentions "<graphml" must still route to
+    # the SNDlib parser.
+    decorated = MINI_SNDLIB_XML.replace(
+        "<network ", "<!-- converted from a <graphml> export --><network ", 1
+    )
+    path = tmp_path / "decorated.xml"
+    path.write_text(decorated)
+    network = load_network(str(path))
+    assert sorted(network.vertices) == ["A", "B", "C"]
+    assert network.capacity("A", "B") == pytest.approx(40.0)
+
+
+def test_load_instance_keeps_file_demands(tmp_path):
+    # A file path and a catalog name must fit identically: the bundled
+    # DEMANDS section survives file-based loading.
+    from repro.net import load_instance
+
+    path = tmp_path / "mini.txt"
+    path.write_text(MINI_SNDLIB)
+    instance = load_instance(str(path))
+    assert instance.demands == {("A", "B"): 5.0, ("B", "C"): 3.0}
+    assert load_instance("zoo(abilene)").demands == {}
+
+
+def test_cli_net_fit_file_path_uses_bundled_demands(capsys, tmp_path):
+    from repro.__main__ import main
+
+    path = tmp_path / "mini.txt"
+    path.write_text(MINI_SNDLIB)
+    assert main(["net", "fit", str(path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["fitted_from"] == "bundled-demand-marginals"
+    assert payload["total"] == pytest.approx(8.0)
+
+
+def test_max_entropy_rejects_bad_marginals():
+    network = load_catalog_topology("zoo(abilene)")
+    with pytest.raises(NetError, match="nonnegative"):
+        max_entropy_demand(network, {v: -1.0 for v in network.vertices})
+    with pytest.raises(NetError, match="positive totals"):
+        max_entropy_demand(network, {v: 0.0 for v in network.vertices})
+    with pytest.raises(NetError, match="unknown edge"):
+        marginals_from_link_loads(network, {("Seattle", "Houston"): 1.0})
+
+
+def test_fitted_series_are_deterministic_per_seed():
+    network = load_catalog_topology("sndlib(pdh)")
+    for builder in (fitted_gravity_series, max_entropy_series):
+        first = builder(network, 3, rng=7)
+        second = builder(network, 3, rng=7)
+        other = builder(network, 3, rng=8)
+        assert all(a == b for a, b in zip(first, second))
+        assert any(a != b for a, b in zip(first, other))
+
+
+def test_link_load_marginals_accept_arbitrary_orientation():
+    network = load_catalog_topology("zoo(abilene)")
+    loads = {("Sunnyvale", "Seattle"): 4.0, edge_key("Seattle", "Denver"): 2.0}
+    marginals = marginals_from_link_loads(network, loads)
+    assert marginals["Seattle"] == pytest.approx(3.0)
+    assert marginals["Sunnyvale"] == pytest.approx(2.0)
+    assert marginals["Denver"] == pytest.approx(1.0)
+
+
+# --------------------------------------------------------------------- #
+# Parser-level capacity hygiene (Network-level guards live in
+# tests/test_network.py next to the code under test)
+# --------------------------------------------------------------------- #
+def test_non_finite_speed_annotations_are_rejected():
+    with pytest.raises(TopologyFormatError, match="must be finite"):
+        parse_graphml(MINI_GRAPHML.replace("2000000000.0", "nan"))
+    with pytest.raises(TopologyFormatError, match="must be finite"):
+        parse_sndlib_native(MINI_SNDLIB.replace("1 5.00 UNLIMITED", "1 inf UNLIMITED"))
+
+
+# --------------------------------------------------------------------- #
+# Engine wiring
+# --------------------------------------------------------------------- #
+def test_engine_load_network_entry_point():
+    from repro.engine import RoutingEngine
+
+    engine = RoutingEngine.load_network("zoo(arpanet19706)", ["spf"], rng=0)
+    assert engine.network.num_vertices == 9
+    from repro.demands.generators import random_permutation_demand
+
+    demand = random_permutation_demand(engine.network, rng=1)
+    results = engine.route(demand)
+    assert results["spf"].congestion > 0
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+def test_cli_net_list_and_describe(capsys):
+    from repro.__main__ import main
+
+    assert main(["net", "list"]) == 0
+    out = capsys.readouterr().out
+    for entry in catalog_entries():
+        assert entry.qualified_name in out
+    assert main(["net", "describe", "sndlib(polska)"]) == 0
+    assert "12 nodes, 18 links" in capsys.readouterr().out
+    assert main(["net", "describe", "nope"]) == 2
+    assert "available" in capsys.readouterr().err
+
+
+def test_cli_net_convert_artifact_is_canonical(capsys, tmp_path):
+    from repro.__main__ import main
+
+    assert main(["net", "convert", "zoo(abilene)", "--json"]) == 0
+    first = capsys.readouterr().out
+    payload = json.loads(first)
+    assert payload["artifact"] == "network"
+    assert payload["stats"] == {"n": 11, "m": 14, "total_capacity": 140.0}
+    assert all(edge["capacity"] == 10.0 for edge in payload["edges"])
+    # Bit-identical across runs.
+    assert main(["net", "convert", "zoo(abilene)", "--json"]) == 0
+    assert capsys.readouterr().out == first
+    output = tmp_path / "abilene.json"
+    assert main(["net", "convert", "zoo(abilene)", "--output", str(output)]) == 0
+    assert json.loads(output.read_text()) == payload
+    assert main(["net", "convert", "nope"]) == 2
+
+
+def test_cli_net_fit_artifacts_are_seeded_and_bit_identical(capsys):
+    from repro.__main__ import main
+
+    arguments = ["net", "fit", "sndlib(polska)", "--model", "max-entropy",
+                 "--snapshots", "2", "--seed", "3", "--json"]
+    assert main(arguments) == 0
+    first = capsys.readouterr().out
+    assert main(arguments) == 0
+    assert capsys.readouterr().out == first
+    payload = json.loads(first)
+    assert payload["model"] == "max-entropy"
+    assert len(payload["snapshots"]) == 2
+    assert payload["total"] == pytest.approx(414.0)  # bundled demand total
+    # Gravity on an entry with bundled demands fits their marginals.
+    assert main(["net", "fit", "sndlib(polska)", "--json"]) == 0
+    gravity = json.loads(capsys.readouterr().out)
+    assert gravity["fitted_from"] == "bundled-demand-marginals"
+    # Unknown sources fail with a catalog listing.
+    assert main(["net", "fit", "nope"]) == 2
+
+
+def test_cli_te_accepts_catalog_topologies(capsys):
+    from repro.__main__ import main
+
+    assert main(["te", "--topology", "zoo(arpanet19706)", "--scheme", "spf",
+                 "--snapshots", "1", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["network"] == "arpanet19706"

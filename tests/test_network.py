@@ -68,6 +68,57 @@ def test_nonpositive_capacity_rejected():
         Network(graph)
 
 
+def test_non_numeric_capacity_raises_graph_error():
+    graph = nx.Graph()
+    graph.add_edge(0, 1, capacity="fat-pipe")
+    with pytest.raises(GraphError, match="non-numeric capacity"):
+        Network(graph)
+
+
+def test_node_and_edge_attributes_are_preserved():
+    # The ingestion layer stores coordinates and latencies as attributes;
+    # Network construction must carry them through.
+    graph = nx.Graph()
+    graph.add_node("a", latitude=1.5, population=10)
+    graph.add_node("b", latitude=2.5)
+    graph.add_edge("a", "b", capacity=3.0, latency=7.25)
+    net = Network(graph)
+    assert net.graph.nodes["a"]["latitude"] == 1.5
+    assert net.graph.nodes["a"]["population"] == 10
+    assert net.graph["a"]["b"]["latency"] == 7.25
+    assert net.capacity("a", "b") == 3.0
+
+
+def test_from_edges_validates_declared_vertex_set():
+    net = Network.from_edges(
+        [("a", "b"), ("b", "c")], vertices=["a", "b", "c"], name="declared"
+    )
+    assert net.num_vertices == 3
+    with pytest.raises(GraphError, match="unknown vertices"):
+        Network.from_edges([("a", "z")], vertices=["a", "b"])
+    # A declared but isolated vertex still fails the connectivity check.
+    with pytest.raises(GraphError, match="connected"):
+        Network.from_edges([("a", "b")], vertices=["a", "b", "c"])
+
+
+def test_from_edges_rejects_nonpositive_and_non_numeric_capacities():
+    with pytest.raises(GraphError, match="non-positive or non-finite"):
+        Network.from_edges([("a", "b")], capacities={("a", "b"): 0.0})
+    with pytest.raises(GraphError, match="non-positive or non-finite"):
+        Network.from_edges([("a", "b")], capacities={("b", "a"): -1.0})
+    with pytest.raises(GraphError, match="non-positive or non-finite"):
+        Network.from_edges([("a", "b")], capacities={("a", "b"): float("nan")})
+    with pytest.raises(GraphError, match="non-numeric capacity"):
+        Network.from_edges([("a", "b")], capacities={("a", "b"): "wide"})
+
+
+def test_non_finite_capacity_attribute_rejected():
+    graph = nx.Graph()
+    graph.add_edge(0, 1, capacity=float("inf"))
+    with pytest.raises(GraphError, match="non-finite"):
+        Network(graph)
+
+
 def test_vertex_and_edge_indexing(cube3):
     for index, vertex in enumerate(cube3.vertices):
         assert cube3.vertex_index(vertex) == index

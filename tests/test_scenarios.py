@@ -101,6 +101,43 @@ def test_builtin_suites_resolve():
         get_suite("no-such-suite")
 
 
+def test_topology_kind_registry_validates_at_parse_time():
+    from repro.scenarios import available_topology_kinds
+
+    kinds = available_topology_kinds()
+    assert {"hypercube", "torus", "zoo", "sndlib"} <= set(kinds)
+    # Unknown kinds fail at spec construction, listing registered kinds.
+    with pytest.raises(ScenarioError, match="available"):
+        TopologySpec("moebius", 3)
+    # Catalog kinds validate their name at parse time, never in a worker.
+    with pytest.raises(ScenarioError, match="available"):
+        TopologySpec("zoo", params=(("name", "atlantis"),))
+    with pytest.raises(ScenarioError, match="needs a catalog name"):
+        TopologySpec("zoo")
+    with pytest.raises(ScenarioError, match="fixed-size"):
+        TopologySpec("zoo", size=4, params=(("name", "abilene"),))
+    with pytest.raises(ScenarioError, match="only 'name'"):
+        TopologySpec("zoo", params=(("name", "abilene"), ("scale", 2)))
+
+
+def test_axis_shorthand_strings_round_trip():
+    suite = tiny_suite(topologies=["zoo(abilene)", "torus(4)"])
+    assert suite.topologies[0].kind == "zoo"
+    assert suite.topologies[0].describe() == "zoo(abilene)"
+    assert suite.topologies[1] == TopologySpec("torus", 4)
+    rebuilt = ScenarioSuite.from_dict(json.loads(json.dumps(suite.to_dict())))
+    assert rebuilt == suite
+    with pytest.raises(ScenarioError):
+        tiny_suite(topologies=["zoo(abilene", "torus(4)"])  # unbalanced paren
+    # A second integer must not silently become an ignored 'name' param.
+    with pytest.raises(ScenarioError, match="cannot interpret positional"):
+        TopologySpec.from_string("grid(3, 5)")
+    assert TopologySpec.from_string("grid(3, cols=5)").params == (("cols", 5),)
+    assert DemandSpec.from_string("max-entropy(total=20)").params == (("total", 20),)
+    with pytest.raises(ScenarioError, match="key=value"):
+        DemandSpec.from_string("max-entropy(20)")
+
+
 # --------------------------------------------------------------------- #
 # Failure processes
 # --------------------------------------------------------------------- #
@@ -230,6 +267,55 @@ def test_healthy_cells_have_unit_coverage_and_sane_ratios():
             if cell["failure"]["spec"] == "none":
                 assert row["coverage"] == 1.0
                 assert row["ratio"] is None or row["ratio"] >= 1.0 - 1e-9
+
+
+# --------------------------------------------------------------------- #
+# The real-world suite (ingestion catalog x fitted demands)
+# --------------------------------------------------------------------- #
+def real_world_probe() -> ScenarioSuite:
+    """The built-in real-world suite trimmed to one snapshot per cell."""
+    return get_suite("real-world").with_overrides(num_snapshots=1)
+
+
+def test_real_world_suite_runs_on_real_topologies():
+    suite = get_suite("real-world")
+    assert len(suite.topologies) >= 3
+    assert {spec.kind for spec in suite.topologies} == {"zoo", "sndlib"}
+    assert {spec.kind for spec in suite.demands} == {"fitted-gravity", "max-entropy"}
+    result = run_suite(real_world_probe(), workers=1)
+    assert len(result.cells) == suite.num_cells()
+    names = {cell["topology"]["name"] for cell in result.cells}
+    assert names == {"abilene", "polska", "nobel-germany"}
+    for cell in result.cells:
+        for row in cell["rows"]:
+            if cell["failure"]["spec"] == "none":
+                assert row["ratio"] is None or row["ratio"] >= 1.0 - 1e-9
+
+
+def test_real_world_suite_is_bit_identical_across_workers():
+    # The satellite guarantee: same seed -> bit-identical JSON artifacts
+    # across 1 and 4 workers (catalog topologies rebuild deterministically
+    # in every spawned process; fitted demands derive from cell seeds).
+    suite = real_world_probe()
+    serial = run_suite(suite, workers=1)
+    parallel = run_suite(suite, workers=4)
+    assert serial.to_json() == parallel.to_json()
+
+
+def test_real_world_suite_is_bit_identical_on_the_numpy_only_leg(monkeypatch):
+    # The numpy-only leg: compiled evaluation falls back to the dense
+    # representation (HAVE_SCIPY monkeypatched off, as in test_linalg).
+    # Multiprocessing workers would re-import scipy, so this leg runs
+    # serially; the artifact must still be reproducible bit for bit and
+    # record the resolved backend.
+    from repro.linalg import _matrix
+
+    monkeypatch.setattr(_matrix, "HAVE_SCIPY", False)
+    suite = real_world_probe()
+    first = run_suite(suite, workers=1, backend="sparse")
+    second = run_suite(suite, workers=1, backend="sparse")
+    assert first.to_json() == second.to_json()
+    assert first.backend == "dense"
 
 
 # --------------------------------------------------------------------- #

@@ -16,8 +16,12 @@ EXPERIMENTS.md, docs/ARCHITECTURE.md).  Two checks per file:
    fences are ignored.
 
 2. **Links.**  Every intra-repository markdown link target
-   (``[text](path)`` where path is not ``http(s)://``, ``mailto:`` or a
-   bare ``#anchor``) must exist relative to the file's directory.
+   (``[text](path)`` where path is not ``http(s)://`` or ``mailto:``)
+   must exist relative to the file's directory.  Anchor fragments are
+   checked too: ``#section`` must name a heading of the current file,
+   and ``other.md#section`` a heading of the linked markdown file
+   (GitHub anchor slugging: lowercase, punctuation stripped, spaces to
+   hyphens, ``-N`` suffixes for duplicates).
 
 Exit status 0 when everything passes; 1 with a per-failure report
 otherwise.  No third-party dependencies.
@@ -86,9 +90,36 @@ def check_snippets(path: Path, text: str, failures: List[str]) -> int:
     return executed
 
 
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.+?)\s*$")
+
+
+def heading_anchors(text: str) -> set:
+    """GitHub-style anchor slugs for every markdown heading in ``text``."""
+    anchors = set()
+    counts: dict = {}
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()) or line.strip() == "```":
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        # GitHub slugger: lowercase, drop everything but word chars,
+        # hyphens and spaces, then spaces -> hyphens; duplicates get -N.
+        slug = re.sub(r"[^\w\- ]", "", match.group(2).lower()).replace(" ", "-")
+        occurrence = counts.get(slug, 0)
+        counts[slug] = occurrence + 1
+        anchors.add(slug if occurrence == 0 else f"{slug}-{occurrence}")
+    return anchors
+
+
 def check_links(path: Path, text: str, failures: List[str]) -> int:
     checked = 0
     in_fence = False
+    anchor_cache = {path.resolve(): heading_anchors(text)}
     for number, line in enumerate(text.splitlines(), start=1):
         if FENCE_RE.match(line.strip()) or line.strip() == "```":
             in_fence = not in_fence
@@ -96,15 +127,25 @@ def check_links(path: Path, text: str, failures: List[str]) -> int:
         if in_fence:
             continue
         for target in LINK_RE.findall(line):
-            if target.startswith(("http://", "https://", "mailto:", "#")):
+            if target.startswith(("http://", "https://", "mailto:")):
                 continue
             checked += 1
-            relative = target.split("#", 1)[0]
-            if not relative:
-                continue
-            resolved = (path.parent / relative).resolve()
+            relative, _, anchor = target.partition("#")
+            resolved = (path.parent / relative).resolve() if relative else path.resolve()
             if not resolved.exists():
                 failures.append(f"{path}:{number}: broken intra-repo link -> {target}")
+                continue
+            if not anchor or resolved.suffix.lower() not in (".md", ".markdown"):
+                continue
+            if resolved not in anchor_cache:
+                anchor_cache[resolved] = heading_anchors(
+                    resolved.read_text(encoding="utf-8")
+                )
+            if anchor not in anchor_cache[resolved]:
+                failures.append(
+                    f"{path}:{number}: broken anchor -> {target} "
+                    f"(no heading slug {anchor!r} in {resolved.name})"
+                )
     return checked
 
 
