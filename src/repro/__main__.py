@@ -56,6 +56,7 @@ Subcommands
         python -m repro net describe "sndlib(geant)"
         python -m repro net convert "zoo(abilene)" --output abilene.json
         python -m repro net fit "sndlib(polska)" --model max-entropy --json
+        python -m repro net odme "zoo(abilene)" --noise 0.05 --coverage 0.75 --json
 
     Seeded ``convert``/``fit`` artifacts are bit-identical across runs.
     Catalog names also work wherever a topology is expected:
@@ -389,9 +390,12 @@ def _cmd_stream_run(
 
 
 def _cmd_bench_list() -> int:
-    from repro.linalg.bench import BENCH_TARGETS, available_benches
+    from repro.linalg.bench import BENCH_TARGETS, _ensure_registered
 
-    for name in available_benches():
+    # Pull in the extension layers (stream, net, telemetry) before
+    # enumerating: BENCH_TARGETS alone only holds the linalg built-ins.
+    _ensure_registered()
+    for name in sorted(BENCH_TARGETS):
         _, description = BENCH_TARGETS[name]
         print(f"{name:12s} {description}")
     return 0
@@ -404,9 +408,15 @@ def _cmd_bench(
     output_dir: str,
     as_json: bool,
 ) -> int:
+    import os
+
     from repro.exceptions import ReproError
     from repro.linalg.bench import available_benches, run_bench, write_bench_artifact
 
+    # Resolve the artifact directory up front so a relative --output-dir
+    # means "relative to where the user invoked the CLI" even if a bench
+    # target chdirs or the path is consumed late.
+    output_dir = os.path.abspath(os.path.expanduser(output_dir))
     chosen = names or available_benches()
     unknown = [name for name in chosen if name not in available_benches()]
     if unknown:
@@ -627,6 +637,58 @@ def _cmd_net_fit(
     return 0
 
 
+def _cmd_net_odme(
+    source: str,
+    scheme: str,
+    snapshots: int,
+    seed: int,
+    noise: float,
+    coverage: float,
+    granularity: str,
+    method: str,
+    total: Optional[float],
+    as_json: bool,
+    output: Optional[str],
+) -> int:
+    from repro.engine import RoutingEngine
+    from repro.exceptions import ReproError
+    from repro.net import fitted_gravity_series, load_instance
+
+    try:
+        instance = load_instance(source)
+        network, demands = instance.network, instance.demands
+        resolved_total = total if total is not None else (
+            sum(demands.values()) if demands else 10.0
+        )
+        series = fitted_gravity_series(
+            network, snapshots, total=resolved_total, rng=seed, demands=demands or None
+        )
+        engine = RoutingEngine(network, [scheme], rng=seed)
+        result = engine.run_odme(
+            series,
+            noise=noise,
+            coverage=coverage,
+            granularity=granularity,
+            method=method,
+            seed=seed,
+        )
+    except ReproError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if as_json or output:
+        payload = {
+            "artifact": "odme",
+            "schema": _NET_SCHEMA,
+            "source": source,
+            "total": resolved_total,
+            **result.to_dict(),
+        }
+        _emit_net_artifact(json_dumps(payload), output, as_json, "odme")
+    else:
+        print(result.render())
+    return 0
+
+
 def _cmd_quickstart(dimension: int, alpha: int) -> int:
     from repro import build_router, topologies
     from repro.demands import random_permutation_demand
@@ -763,6 +825,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="print the artifact (default when no --output)")
     net_fit.add_argument("--output", default=None,
                          help="write the JSON artifact to this path")
+    net_odme = net_sub.add_parser(
+        "odme", help="closed-loop demand estimation from observed link loads"
+    )
+    net_odme.add_argument("source", help="catalog name or path to a GraphML/SNDlib file")
+    net_odme.add_argument("--scheme", default="spf",
+                          help="routing scheme the loop routes with (default spf)")
+    net_odme.add_argument("--snapshots", type=int, default=4,
+                          help="true-demand snapshots replayed through the loop (default 4)")
+    net_odme.add_argument("--seed", type=int, default=0)
+    net_odme.add_argument("--noise", type=float, default=0.0,
+                          help="relative Gaussian counter noise (default 0: exact)")
+    net_odme.add_argument("--coverage", type=float, default=1.0,
+                          help="fraction of link sensors that report (default 1.0)")
+    net_odme.add_argument("--granularity", choices=("ingress", "link"), default="ingress",
+                          help="telemetry granularity (default ingress)")
+    net_odme.add_argument("--method", choices=("auto", "nnls", "entropy"), default="auto",
+                          help="estimator leg (default auto: NNLS)")
+    net_odme.add_argument("--total", type=float, default=None,
+                          help="total true volume per snapshot (default: the bundled "
+                               "demand total when present, else 10)")
+    net_odme.add_argument("--json", action="store_true",
+                          help="print the artifact (default prints the table)")
+    net_odme.add_argument("--output", default=None,
+                          help="write the JSON artifact to this path")
 
     bench_parser = subparsers.add_parser(
         "bench", help="run benchmark targets and write BENCH_<name>.json artifacts"
@@ -823,6 +909,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.net_command == "fit":
             return _cmd_net_fit(
                 args.source, args.model, args.snapshots, args.seed, args.total,
+                as_json=args.json, output=args.output,
+            )
+        if args.net_command == "odme":
+            return _cmd_net_odme(
+                args.source, args.scheme, args.snapshots, args.seed, args.noise,
+                args.coverage, args.granularity, args.method, args.total,
                 as_json=args.json, output=args.output,
             )
         return 2

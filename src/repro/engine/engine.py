@@ -327,6 +327,8 @@ class RoutingEngine:
         threshold: float = 1.0,
         with_optimal: bool = False,
         record_steps: bool = True,
+        on_step=None,
+        track_loads: bool = False,
     ):
         """Replay a demand stream through one scheme under rerouting policies.
 
@@ -380,11 +382,76 @@ class RoutingEngine:
             optimal=optimal,
             optimal_routing=optimal_routing,
             record_steps=record_steps,
+            track_loads=track_loads,
         )
         if isinstance(policies, str):
-            return run_stream(self._network, stream, router, policy=policies, **common)
+            return run_stream(
+                self._network, stream, router, policy=policies, on_step=on_step, **common
+            )
+        if on_step is not None:
+            raise SchemeError(
+                "on_step hooks apply to single-policy streaming runs; a "
+                "comparison replays several policies through one hook state"
+            )
         return run_stream_comparison(
             self._network, stream, router, policies=list(policies), **common
+        )
+
+    # ------------------------------------------------------------------ #
+    # Closed-loop demand estimation
+    # ------------------------------------------------------------------ #
+    def run_odme(
+        self,
+        series,
+        label: Optional[str] = None,
+        noise: float = 0.0,
+        coverage: float = 1.0,
+        granularity: str = "ingress",
+        method: str = "auto",
+        prior=None,
+        regularization: float = 0.0,
+        seed: int = 0,
+        backend: Optional[str] = None,
+    ):
+        """Run the telemetry closed loop on one scheme (see :mod:`repro.telemetry`).
+
+        Per snapshot of ``series`` the chosen scheme routes the *true*
+        demand, the resulting link loads are observed through a noisy
+        partial-coverage telemetry model, the demand is re-estimated
+        from those observations, the scheme re-routes **on the
+        estimate**, and the estimate-driven routing is scored on the
+        truth.  Returns a
+        :class:`~repro.telemetry.OdmeLoopResult`; its summary's
+        congestion gap is what estimation error costs the scheme.
+
+        ``label`` picks the scheme (default: the first registered one);
+        ``backend`` the compiled representation (default: the engine
+        backend, else ``"auto"``).
+        """
+        from repro.telemetry.pipeline import run_odme_loop
+
+        self._ensure_installed()
+        if label is None:
+            labels = self.labels()
+            if not labels:
+                raise SchemeError("engine has no schemes to estimate through")
+            label = labels[0]
+        router = self[label]
+        resolved_backend = backend if backend is not None else (self._backend or "auto")
+        if resolved_backend == "dict":
+            resolved_backend = "auto"  # the loop compiles; pick a compiled form
+        return run_odme_loop(
+            self._network,
+            series,
+            router,
+            noise=noise,
+            coverage=coverage,
+            granularity=granularity,
+            method=method,
+            prior=prior,
+            regularization=regularization,
+            seed=seed,
+            representation=resolved_backend,
         )
 
     # ------------------------------------------------------------------ #

@@ -79,6 +79,19 @@ class NetError(ReproError):
     """
 
 
+class TelemetryError(ReproError):
+    """Raised when the telemetry / demand-estimation subsystem is misused.
+
+    Examples include unknown observation granularities or estimator
+    names, observations whose shape does not match the compiled routing
+    they claim to measure, and windowed estimation against streaming
+    statistics that were not asked to track link loads.  (An estimator
+    that fails to converge is *not* an error: the estimate records a
+    ``converged=False`` diagnostic so closed-loop pipelines keep
+    running on the best iterate.)
+    """
+
+
 class TopologyFormatError(NetError):
     """Raised when a topology file cannot be parsed into a :class:`Network`.
 

@@ -265,7 +265,11 @@ BENCH_TARGETS: Dict[str, Tuple[Callable[..., Dict[str, Any]], str]] = {
 }
 
 #: Modules above linalg that register bench targets on import.
-_EXTERNAL_BENCH_MODULES = ("repro.stream.bench", "repro.net.bench")
+_EXTERNAL_BENCH_MODULES = (
+    "repro.stream.bench",
+    "repro.net.bench",
+    "repro.telemetry.bench",
+)
 
 
 def register_bench(

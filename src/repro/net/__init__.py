@@ -39,6 +39,7 @@ from repro.net.catalog import (
     load_network,
 )
 from repro.net.fitting import (
+    IpfDiagnostics,
     capacity_weights,
     demand_marginals,
     fit_gravity,
@@ -78,6 +79,7 @@ __all__ = [
     "parse_sndlib_native",
     "parse_sndlib_xml",
     "load_sndlib",
+    "IpfDiagnostics",
     "capacity_weights",
     "population_weights",
     "demand_marginals",

@@ -27,13 +27,14 @@ same replay-determinism contract as every synthetic demand model.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.demands.demand import Demand, Pair
 from repro.demands.traffic_matrix import TrafficMatrixSeries
-from repro.exceptions import NetError
+from repro.exceptions import DemandError, NetError
 from repro.graphs.network import Network, Vertex, edge_key
 from repro.utils.rng import RngLike, ensure_rng
 
@@ -135,6 +136,11 @@ def marginals_from_link_loads(
             raise NetError(f"link load for edge {(u, v)!r} is negative")
         marginals[u] += 0.5 * load
         marginals[v] += 0.5 * load
+    if sum(marginals.values()) <= 0:
+        raise DemandError(
+            "link loads are all zero: no node volume marginal can be inferred "
+            "(an IPF fit downstream would have nothing to match)"
+        )
     return marginals
 
 
@@ -235,6 +241,60 @@ def fitted_gravity_series(
 # --------------------------------------------------------------------- #
 # Maximum-entropy fitting (iterative proportional fitting)
 # --------------------------------------------------------------------- #
+#: Relative in/out total mismatch beyond which the marginals are treated
+#: as inconsistent rather than numerically jittered.
+_MARGINAL_MISMATCH_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class IpfDiagnostics:
+    """Convergence record of one iterative-proportional-fitting run.
+
+    Attached to the fitted :class:`~repro.demands.demand.Demand` as its
+    ``fit_diagnostics`` attribute, so closed-loop consumers (the
+    telemetry estimators) can report how hard the fit worked without
+    re-running it.  ``residual`` is the final max marginal mismatch,
+    in absolute volume units.
+    """
+
+    iterations: int
+    residual: float
+    converged: bool
+    tolerance: float
+    max_iterations: int
+
+
+def _check_marginal_consistency(
+    vertices, row: "np.ndarray", col: "np.ndarray"
+) -> None:
+    """Raise :class:`DemandError` when in/out totals disagree.
+
+    Without an explicit ``total`` the IPF volume comes from the egress
+    sum, and a mismatched ingress sum used to be rescaled silently —
+    masking upstream accounting bugs (e.g. link-load counters that
+    double-count one direction).  The error names the node contributing
+    the largest imbalance in the mismatch direction, which is where the
+    bad counter almost always lives.
+    """
+    out_total = float(row.sum())
+    in_total = float(col.sum())
+    mismatch = abs(out_total - in_total)
+    if mismatch <= _MARGINAL_MISMATCH_TOL * max(out_total, in_total):
+        return
+    gaps = row - col
+    if out_total > in_total:
+        offender = int(np.argmax(gaps))
+    else:
+        offender = int(np.argmin(gaps))
+    vertex = vertices[offender]
+    raise DemandError(
+        f"inconsistent volume marginals: egress total {out_total:g} != ingress "
+        f"total {in_total:g}; node {vertex!r} contributes the largest imbalance "
+        f"(out - in = {gaps[offender]:+g}).  Pass total=... to rescale both "
+        f"sides explicitly if the mismatch is intentional"
+    )
+
+
 def _clip_marginals(values: "np.ndarray", volume: float) -> "np.ndarray":
     """Scale marginals to ``volume`` with no entry above the share cap.
 
@@ -272,6 +332,7 @@ def max_entropy_demand(
     total: Optional[float] = None,
     tolerance: float = 1e-9,
     max_iterations: int = 1000,
+    prior: Optional[Mapping[Pair, float]] = None,
 ) -> Demand:
     """The maximum-entropy demand matching per-node volume marginals.
 
@@ -281,8 +342,22 @@ def max_entropy_demand(
     within ``tolerance`` (relative to the total volume).  Marginals are
     normalized to a common ``total`` (default: the egress sum) and
     clipped to at most ``0.35 · total`` per node, which keeps the
-    zero-diagonal problem strictly feasible; IPF then converges to the
-    unique entropy maximizer.  Non-convergence raises :class:`NetError`.
+    zero-diagonal problem strictly feasible.  When both marginals are
+    supplied with *no* explicit ``total``, disagreeing egress/ingress
+    sums raise :class:`~repro.exceptions.DemandError` naming the node
+    with the largest imbalance (an explicit ``total`` opts back into
+    rescaling both sides).
+
+    ``prior`` warm-starts the fit: IPF is seeded from the prior matrix
+    (e.g. a gravity fit, see :func:`fit_gravity`) instead of the
+    independence seed, so the result is the minimum cross-entropy
+    projection of the prior onto the marginal constraints — pairs the
+    prior favors keep more mass wherever the marginals leave slack.
+
+    The fitted demand carries an :class:`IpfDiagnostics` record as its
+    ``fit_diagnostics`` attribute.  Iterations are always capped at
+    ``max_iterations``; non-convergence raises :class:`NetError` with
+    the residual in the message.
     """
     vertices = network.vertices
     if len(vertices) < 2:
@@ -298,15 +373,39 @@ def max_entropy_demand(
         raise NetError("marginals must be nonnegative")
     if row.sum() <= 0 or col.sum() <= 0:
         raise NetError("marginals must have positive totals")
+    if in_marginals is not None and total is None:
+        _check_marginal_consistency(vertices, row, col)
     volume = float(total) if total is not None else float(row.sum())
     if volume <= 0:
         raise NetError("total volume must be positive")
     row = _clip_marginals(row, volume)
     col = _clip_marginals(col, volume)
 
-    matrix = np.outer(row, col) / volume
+    if prior is None:
+        matrix = np.outer(row, col) / volume
+    else:
+        index = {vertex: i for i, vertex in enumerate(vertices)}
+        matrix = np.zeros((len(vertices), len(vertices)))
+        for (source, target), value in prior.items():
+            i, j = index.get(source), index.get(target)
+            if i is None or j is None:
+                raise NetError(
+                    f"prior demand pair {(source, target)!r} references vertices "
+                    "outside the network"
+                )
+            if value < 0:
+                raise NetError(f"prior demand for {(source, target)!r} is negative")
+            matrix[i, j] = float(value)
+        if matrix.sum() <= 0:
+            raise NetError("prior demand must have positive total volume")
+        # A strictly positive background keeps every off-diagonal cell
+        # reachable: a sparse prior would otherwise pin its zero cells
+        # and can make the (clipped, hence feasible) marginals
+        # unreachable for IPF.
+        matrix += 1e-9 * matrix.sum() / max(len(vertices) ** 2 - len(vertices), 1)
     np.fill_diagonal(matrix, 0.0)
-    for _ in range(max_iterations):
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
         row_sums = matrix.sum(axis=1)
         matrix *= np.divide(
             row, row_sums, out=np.zeros_like(row), where=row_sums > 0
@@ -333,7 +432,15 @@ def max_entropy_demand(
         for j, t in enumerate(vertices)
         if i != j and matrix[i, j] > cutoff
     }
-    return Demand(values, network=network)
+    fitted = Demand(values, network=network)
+    fitted.fit_diagnostics = IpfDiagnostics(
+        iterations=iterations,
+        residual=residual,
+        converged=True,
+        tolerance=tolerance,
+        max_iterations=max_iterations,
+    )
+    return fitted
 
 
 def max_entropy_series(
@@ -379,6 +486,7 @@ def max_entropy_series(
 
 
 __all__ = [
+    "IpfDiagnostics",
     "capacity_weights",
     "population_weights",
     "demand_marginals",

@@ -68,7 +68,10 @@ class ScenarioError(ReproError):
 #: models).  Loaded lazily through :func:`_ensure_extension_axes` so the
 #: spec layer never imports upward eagerly — same pattern as the bench
 #: target registry in :mod:`repro.linalg.bench`.
-_EXTENSION_AXIS_MODULES = ("repro.net.scenario_axes",)
+_EXTENSION_AXIS_MODULES = (
+    "repro.net.scenario_axes",
+    "repro.telemetry.scenario_axes",
+)
 _extension_axes_loaded = False
 
 
@@ -727,12 +730,37 @@ def _suite_real_world() -> ScenarioSuite:
     )
 
 
+def _suite_odme() -> ScenarioSuite:
+    return ScenarioSuite(
+        name="odme",
+        description="telemetry axis: true fitted demand vs its ODME estimate "
+        "from noisy partial-coverage link-load observations",
+        topologies=["zoo(abilene)", "sndlib(polska)"],
+        demands=[
+            DemandSpec("fitted-gravity"),
+            DemandSpec(
+                "estimated",
+                params=(
+                    ("base", "fitted-gravity"),
+                    ("coverage", 0.75),
+                    ("noise", 0.05),
+                ),
+            ),
+        ],
+        failures=[FailureSpec("none"), FailureSpec("k-edge", params=(("k", 1),))],
+        schemes=("semi-oblivious(racke, alpha=4)", "spf"),
+        num_snapshots=2,
+        seed=0,
+    )
+
+
 _BUILTIN_SUITES: Dict[str, Callable[[], ScenarioSuite]] = {
     "smoke": _suite_smoke,
     "failures": _suite_failures,
     "diurnal": _suite_diurnal,
     "streaming": _suite_streaming,
     "real-world": _suite_real_world,
+    "odme": _suite_odme,
 }
 
 

@@ -38,16 +38,25 @@ class RollingStreamStats:
     threshold:
         Utilization level defining "overloaded": steps whose congestion
         strictly exceeds it count toward ``time_above_threshold``.
+    track_loads:
+        Keep the raw per-edge load vector of the last ``window`` steps
+        (O(window · m) state instead of O(window)).  Enables
+        :meth:`windowed_mean_loads`, the input to windowed demand
+        estimation (:mod:`repro.telemetry.windowed`).
     """
 
-    def __init__(self, window: int = 16, threshold: float = 1.0) -> None:
+    def __init__(
+        self, window: int = 16, threshold: float = 1.0, track_loads: bool = False
+    ) -> None:
         if window < 1:
             raise StreamError(f"rolling window must cover at least one step, got {window}")
         if threshold <= 0:
             raise StreamError(f"utilization threshold must be positive, got {threshold}")
         self.window = int(window)
         self.threshold = float(threshold)
+        self.track_loads = bool(track_loads)
         self._recent: Deque[float] = deque(maxlen=self.window)
+        self._recent_loads: Deque[np.ndarray] = deque(maxlen=self.window)
         self._steps = 0
         self._above = 0
         self._cumulative = 0.0
@@ -61,6 +70,7 @@ class RollingStreamStats:
         self,
         congestion: float,
         utilizations: Optional[np.ndarray] = None,
+        loads: Optional[np.ndarray] = None,
     ) -> Dict[str, Any]:
         """Absorb one step; returns the step's metric record.
 
@@ -68,10 +78,14 @@ class RollingStreamStats:
         when coverage was lost); ``utilizations`` is the per-edge
         utilization array used for the percentile figures (omitted →
         percentiles are reported as the congestion itself, the only
-        consistent degenerate value).
+        consistent degenerate value).  ``loads`` is the raw per-edge
+        load vector, retained in the window only when the stats were
+        built with ``track_loads=True``.
         """
         congestion = float(congestion)
         self._recent.append(congestion)
+        if self.track_loads and loads is not None:
+            self._recent_loads.append(np.array(loads, dtype=float, copy=True))
         self._steps += 1
         self._cumulative += congestion
         self._peak = max(self._peak, congestion)
@@ -91,6 +105,17 @@ class RollingStreamStats:
         for level, value in zip(PERCENTILES, percentiles):
             record[f"p{level:g}_utilization"] = float(value)
         return record
+
+    def windowed_mean_loads(self) -> Optional[np.ndarray]:
+        """Mean per-edge load over the tracked window.
+
+        ``None`` when load tracking is off or nothing was observed yet —
+        callers needing estimation input should treat that as "run the
+        stream with ``track_loads=True``".
+        """
+        if not self.track_loads or not self._recent_loads:
+            return None
+        return np.mean(np.stack(tuple(self._recent_loads)), axis=0)
 
     def summary(self) -> Dict[str, Any]:
         """Aggregates over every observed step (streaming; O(1) state)."""

@@ -160,6 +160,8 @@ def run_stream(
     optimal: Optional[Callable[[Demand], float]] = None,
     optimal_routing: Optional[Callable[[Demand], Any]] = None,
     record_steps: bool = True,
+    on_step: Optional[Callable[[int, IncrementalStreamEvaluator, RollingStreamStats], Any]] = None,
+    track_loads: bool = False,
 ) -> StreamRunResult:
     """Replay ``stream`` through ``router`` under one rerouting policy.
 
@@ -195,6 +197,14 @@ def run_stream(
     record_steps:
         Keep per-step records on the result (disable for long streams
         where only the summary matters).
+    on_step:
+        Optional ``(step, evaluator, stats)`` hook called after every
+        absorbed step — the attachment point for online controllers
+        such as :class:`~repro.telemetry.WindowedOdmeEstimator`.
+    track_loads:
+        Retain the raw per-edge load vectors in the rolling window
+        (see :meth:`RollingStreamStats.windowed_mean_loads`); required
+        by windowed demand estimation.
     """
     if backend == "dict":
         raise StreamError(
@@ -220,7 +230,7 @@ def run_stream(
 
     policy = build_policy(policy)
     policy.bind(PolicyContext(network, router, optimal_routing=optimal_routing))
-    stats = RollingStreamStats(window=window, threshold=threshold)
+    stats = RollingStreamStats(window=window, threshold=threshold, track_loads=track_loads)
 
     evaluator: Optional[IncrementalStreamEvaluator] = None
     last_congestion: Optional[float] = None
@@ -256,7 +266,11 @@ def run_stream(
                 forced = True
                 forced_resolves += 1
         congestion = evaluator.congestion()
-        record = stats.observe(congestion, evaluator.utilizations())
+        record = stats.observe(
+            congestion,
+            evaluator.utilizations(),
+            loads=evaluator.loads if track_loads else None,
+        )
         record["resolved"] = resolved
         if forced:
             record["forced"] = True
@@ -268,6 +282,8 @@ def run_stream(
             ratios.append(ratio)
         if record_steps:
             records.append(record)
+        if on_step is not None:
+            on_step(update.step, evaluator, stats)
         last_congestion = congestion
 
     summary = stats.summary()
@@ -298,6 +314,7 @@ def run_stream_comparison(
     optimal: Optional[Callable[[Demand], float]] = None,
     optimal_routing: Optional[Callable[[Demand], Any]] = None,
     record_steps: bool = True,
+    track_loads: bool = False,
 ) -> StreamComparison:
     """Replay one stream under several policies; identical traffic per policy.
 
@@ -342,6 +359,7 @@ def run_stream_comparison(
             optimal=optimal,
             optimal_routing=optimal_routing,
             record_steps=record_steps,
+            track_loads=track_loads,
         )
         result.stream = comparison.stream
         comparison.results[result.policy] = result

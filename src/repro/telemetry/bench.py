@@ -1,0 +1,170 @@
+"""The ``odme`` bench target: demand estimation across the real catalog.
+
+Registered with the :mod:`repro.linalg.bench` target registry (the
+``repro bench odme`` CLI path).  For each bundled real topology the
+bench compiles the shortest-path routing, generates fitted-gravity truth
+snapshots, observes them through noise-free full-coverage ingress
+telemetry, and times the two estimator legs against each other:
+
+* ``nnls`` — per-source non-negative least squares on the compiled
+  pair × edge operator (the scipy leg, or the numpy active-set
+  fallback on scipy-free installs), and
+* ``entropy`` — marginal extraction plus IPF projection, the
+  numpy-only inference leg.
+
+``max_abs_difference`` is the worst NNLS recovery error against the
+known truth over the whole catalog — the committed baseline therefore
+doubles as a standing proof that noise-free closed-loop estimation is
+exact on every bundled real topology, not just the test trio.
+
+The aggregate ``backends`` / ``speedup`` / ``max_abs_difference`` keys
+follow the ``repro-bench/v1`` schema; the per-topology breakdown lives
+under the additive ``topologies`` key.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.linalg.bench import BENCH_SCHEMA, environment_info, register_bench
+from repro.linalg.compiled import CompiledRouting
+from repro.net.catalog import catalog_entries, load_catalog_topology
+from repro.net.fitting import fitted_gravity_series
+from repro.utils.timing import Stopwatch
+
+from repro.telemetry.observation import ObservationModel
+from repro.telemetry.odme import estimate_demand
+
+#: Truth snapshots estimated per topology, per scale.
+_ODME_SCALES: Dict[str, int] = {"smoke": 1, "small": 2, "full": 4}
+
+#: The smoke scale trims the catalog to its smallest entries so the CI
+#: leg stays in seconds; other scales sweep the full catalog.
+_SMOKE_TOPOLOGIES = 3
+
+
+def bench_odme(scale: str = "small", seed: int = 0) -> Dict[str, Any]:
+    """Time NNLS vs entropy-IPF demand estimation on the real catalog."""
+    from repro.linalg.bench import _shortest_path_routing
+
+    num_snapshots = _ODME_SCALES[scale]
+    entries = sorted(catalog_entries(), key=lambda entry: (entry.nodes, entry.name))
+    if scale == "smoke":
+        entries = entries[:_SMOKE_TOPOLOGIES]
+
+    model = ObservationModel(noise=0.0, coverage=1.0, granularity="ingress")
+    per_topology: List[Dict[str, Any]] = []
+    observe_total = 0.0
+    nnls_total = 0.0
+    entropy_total = 0.0
+    compile_total = 0.0
+    max_error = 0.0
+    total_nodes = 0
+    total_edges = 0
+    total_pairs = 0
+    nnls_method = "nnls"
+    representation = "sparse"
+    for index, entry in enumerate(entries):
+        network = load_catalog_topology(entry.qualified_name)
+        routing = _shortest_path_routing(network)
+        with Stopwatch() as compile_watch:
+            compiled = CompiledRouting.from_routing(routing)
+        representation = compiled.representation
+        rng = np.random.default_rng(np.random.SeedSequence([int(seed), index]))
+        truths = [
+            snapshot
+            for snapshot in fitted_gravity_series(network, num_snapshots, rng=rng)
+        ]
+
+        with Stopwatch() as observe_watch:
+            observations = [
+                model.observe(compiled, truth, rng=rng) for truth in truths
+            ]
+
+        topology_error = 0.0
+        with Stopwatch() as nnls_watch:
+            for truth, observation in zip(truths, observations):
+                estimate = estimate_demand(compiled, observation, method="nnls")
+                nnls_method = estimate.method
+                truth_vector = compiled.demand_vector(truth, missing="drop")
+                topology_error = max(
+                    topology_error,
+                    float(np.max(np.abs(estimate.vector - truth_vector), initial=0.0)),
+                )
+        with Stopwatch() as entropy_watch:
+            for observation in observations:
+                estimate_demand(compiled, observation, method="entropy")
+
+        per_topology.append(
+            {
+                "name": entry.qualified_name,
+                "format": entry.format,
+                "n": network.num_vertices,
+                "m": network.num_edges,
+                "num_pairs": compiled.num_pairs,
+                "num_snapshots": num_snapshots,
+                "compile_seconds": compile_watch.elapsed,
+                "observe_seconds": observe_watch.elapsed,
+                "nnls_seconds": nnls_watch.elapsed,
+                "entropy_seconds": entropy_watch.elapsed,
+                "max_recovery_error": topology_error,
+            }
+        )
+        compile_total += compile_watch.elapsed
+        observe_total += observe_watch.elapsed
+        nnls_total += nnls_watch.elapsed
+        entropy_total += entropy_watch.elapsed
+        max_error = max(max_error, topology_error)
+        total_nodes += network.num_vertices
+        total_edges += network.num_edges
+        total_pairs += compiled.num_pairs
+
+    estimations = num_snapshots * len(entries)
+    return {
+        "schema": BENCH_SCHEMA,
+        "name": "odme",
+        "scale": scale,
+        "seed": seed,
+        "network": {"name": "catalog", "n": total_nodes, "m": total_edges},
+        "workload": {
+            "num_topologies": len(entries),
+            "num_snapshots": num_snapshots,
+            "num_estimations": estimations,
+            "num_pairs": total_pairs,
+            "granularity": "ingress",
+            "representation": representation,
+            "compile_seconds": compile_total,
+            "observe_seconds": observe_total,
+        },
+        "backends": {
+            "entropy": {
+                "backend": "entropy-ipf",
+                "seconds": entropy_total,
+                "demands_per_sec": (
+                    estimations / entropy_total if entropy_total > 0 else None
+                ),
+            },
+            "nnls": {
+                "backend": nnls_method,
+                "seconds": nnls_total,
+                "demands_per_sec": estimations / nnls_total if nnls_total > 0 else None,
+            },
+        },
+        "speedup_nnls_over_entropy": (
+            entropy_total / nnls_total if nnls_total > 0 else None
+        ),
+        "max_abs_difference": max_error,
+        "topologies": per_topology,
+        "environment": environment_info(),
+    }
+
+
+register_bench(
+    "odme",
+    bench_odme,
+    "demand estimation: NNLS vs entropy-IPF over the real-topology catalog",
+)
+
+__all__ = ["bench_odme"]

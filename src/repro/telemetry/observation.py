@@ -1,0 +1,200 @@
+"""The observation model: per-link load telemetry from a compiled routing.
+
+Real controllers never see the demand matrix — they see what the
+network's counters report: per-link byte counts (SNMP-style aggregate
+telemetry) or per-ingress per-link flow counts (NetFlow/IPFIX-style
+attribution).  :class:`ObservationModel` turns any
+:class:`~repro.linalg.CompiledRouting` plus a true demand into exactly
+those measurements, with the imperfections that make estimation hard:
+
+* **granularity** — ``"ingress"`` reports one load vector per source
+  node (each row is the traffic *originating* at that node, per edge);
+  ``"link"`` collapses them into the aggregate per-edge load a plain
+  counter would show.  Ingress telemetry keeps the per-source inverse
+  problems well-posed; aggregate link loads are heavily underdetermined
+  (``m`` equations for ``n·(n-1)`` unknowns) and force prior-regularized
+  estimation.
+* **coverage** — a sensor-dropout mask: only a seeded random subset of
+  edges reports.  Masks are *nested* in the coverage level (a prefix of
+  one seeded edge permutation), so sweeping coverage with a fixed seed
+  compares supersets of the same sensors.
+* **noise** — multiplicative Gaussian error per counter
+  (``measured = true · (1 + noise · g)``, clipped at zero), drawn for
+  every edge regardless of the mask so two coverage levels under one
+  seed see identical noise on their common sensors.
+
+All randomness flows through the passed generator
+(:func:`~repro.utils.rng.ensure_rng`), so observations obey the same
+SeedSequence determinism contract as every other sampled object in the
+package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import TelemetryError
+from repro.graphs.network import Vertex
+from repro.utils.rng import RngLike, ensure_rng
+
+#: Observation granularities understood by :class:`ObservationModel`.
+GRANULARITIES = ("ingress", "link")
+
+
+@dataclass(frozen=True)
+class LinkLoadObservation:
+    """One snapshot of link-load telemetry.
+
+    ``loads`` is ``(num_edges,)`` for ``"link"`` granularity and
+    ``(num_sources, num_edges)`` for ``"ingress"`` (row order given by
+    ``sources``).  ``observed`` marks the edges whose counters reported;
+    unobserved columns still hold values but estimators must ignore
+    them (:attr:`observed_indices` is the canonical selector).
+    """
+
+    loads: np.ndarray
+    observed: np.ndarray
+    granularity: str
+    noise: float
+    coverage: float
+    sources: Tuple[Vertex, ...] = ()
+    edges: Tuple[Tuple[Vertex, Vertex], ...] = field(default=(), repr=False)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.observed.size)
+
+    @property
+    def observed_indices(self) -> np.ndarray:
+        """Indices of reporting edges (network edge-index order)."""
+        return np.flatnonzero(self.observed)
+
+    @property
+    def observed_fraction(self) -> float:
+        return float(self.observed.sum()) / max(self.num_edges, 1)
+
+    def aggregate_loads(self) -> np.ndarray:
+        """Per-edge total load (``(num_edges,)``; ingress rows summed)."""
+        if self.loads.ndim == 1:
+            return np.asarray(self.loads, dtype=float)
+        return np.asarray(self.loads.sum(axis=0), dtype=float)
+
+    def observed_edge_loads(self) -> Dict[Tuple[Vertex, Vertex], float]:
+        """``edge -> aggregate load`` over the reporting edges only."""
+        aggregate = self.aggregate_loads()
+        return {
+            self.edges[index]: float(aggregate[index])
+            for index in self.observed_indices
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "granularity": self.granularity,
+            "noise": self.noise,
+            "coverage": self.coverage,
+            "num_edges": self.num_edges,
+            "num_observed": int(self.observed.sum()),
+            "observed_fraction": self.observed_fraction,
+        }
+
+
+class ObservationModel:
+    """Turn (compiled routing, demand) into noisy, partial link telemetry.
+
+    Parameters
+    ----------
+    noise:
+        Relative standard deviation of the multiplicative Gaussian
+        counter error (``0`` = exact counters).
+    coverage:
+        Fraction of edges whose counters report, in ``(0, 1]``.  The
+        reporting subset is a seeded-permutation prefix, so masks are
+        nested across coverage levels under one seed.
+    granularity:
+        ``"ingress"`` (per-source per-edge loads) or ``"link"``
+        (aggregate per-edge loads).
+    """
+
+    def __init__(
+        self,
+        noise: float = 0.0,
+        coverage: float = 1.0,
+        granularity: str = "ingress",
+    ) -> None:
+        if noise < 0:
+            raise TelemetryError(f"observation noise must be nonnegative, got {noise}")
+        if not (0.0 < coverage <= 1.0):
+            raise TelemetryError(
+                f"sensor coverage must be in (0, 1], got {coverage}"
+            )
+        if granularity not in GRANULARITIES:
+            raise TelemetryError(
+                f"unknown observation granularity {granularity!r}; "
+                f"available: {GRANULARITIES}"
+            )
+        self.noise = float(noise)
+        self.coverage = float(coverage)
+        self.granularity = granularity
+
+    def observe(self, compiled, demand, rng: RngLike = None) -> LinkLoadObservation:
+        """Measure ``demand`` routed by ``compiled``.
+
+        The generator is consumed in a fixed order — edge permutation
+        first, then one noise draw per counter over *all* edges — so a
+        fixed seed yields nested masks and shared noise across coverage
+        levels.  Demand on pairs the routing does not cover is dropped
+        (an uncovered pair carries no traffic for counters to see).
+        """
+        generator = ensure_rng(rng)
+        num_edges = compiled.num_edges
+        operator = compiled.pair_edge_operator
+        vector = compiled.demand_vector(demand, missing="drop")
+        if self.granularity == "ingress":
+            sources = tuple(compiled.network.vertices)
+            source_index = {vertex: i for i, vertex in enumerate(sources)}
+            loads = np.zeros((len(sources), num_edges), dtype=float)
+            if len(vector):
+                # Scatter the demand vector into one row per source, then
+                # a single (n × pairs) @ (pairs × m) product yields every
+                # per-ingress load vector at once.
+                pair_source = np.array(
+                    [source_index[source] for source, _ in compiled.pairs],
+                    dtype=np.int64,
+                )
+                per_source = np.zeros((len(sources), len(vector)), dtype=float)
+                per_source[pair_source, np.arange(len(vector))] = vector
+                loads = np.asarray(per_source @ operator, dtype=float)
+        else:
+            sources = ()
+            loads = np.asarray(vector @ operator, dtype=float).ravel()
+
+        observed = np.ones(num_edges, dtype=bool)
+        permutation = generator.permutation(num_edges)
+        if self.coverage < 1.0:
+            keep = int(np.ceil(self.coverage * num_edges))
+            observed = np.zeros(num_edges, dtype=bool)
+            observed[permutation[:keep]] = True
+        if self.noise > 0.0:
+            factors = 1.0 + self.noise * generator.standard_normal(loads.shape)
+            loads = np.maximum(loads * factors, 0.0)
+        return LinkLoadObservation(
+            loads=loads,
+            observed=observed,
+            granularity=self.granularity,
+            noise=self.noise,
+            coverage=self.coverage,
+            sources=sources,
+            edges=tuple(compiled.network.edges),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ObservationModel(noise={self.noise}, coverage={self.coverage}, "
+            f"granularity={self.granularity!r})"
+        )
+
+
+__all__ = ["GRANULARITIES", "LinkLoadObservation", "ObservationModel"]

@@ -1,0 +1,148 @@
+"""Windowed online estimation: re-estimate demand from streaming loads.
+
+The streaming runner (:mod:`repro.stream`) maintains a
+:class:`~repro.stream.RollingStreamStats` reduction over per-step link
+loads; a controller doing online ODME re-estimates the demand from
+exactly that window — smoothing out step noise at the cost of lagging
+the stream.  :class:`WindowedOdmeEstimator` packages that loop as a
+``run_stream(..., on_step=estimator, track_loads=True)`` hook:
+
+    from repro.stream import run_stream
+    from repro.telemetry import WindowedOdmeEstimator
+
+    estimator = WindowedOdmeEstimator(every=8)
+    run_stream(network, stream, router, on_step=estimator, track_loads=True)
+    for step, estimate in estimator.estimates:
+        ...
+
+Every ``every`` steps the estimator reads the window-mean load vector
+from the rolling statistics, wraps it as an aggregate-link observation
+against the evaluator's *current* compiled routing, and runs the same
+:func:`~repro.telemetry.estimate_demand` pass as the batch pipeline.
+Aggregate link loads are underdetermined, so windowed estimates are
+validated by load reproduction (the estimate's ``residual``), not by
+pairwise recovery; pass a ``prior``/``regularization`` to pin down the
+pairwise split.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import TelemetryError
+
+from repro.telemetry.observation import LinkLoadObservation
+from repro.telemetry.odme import OdmeEstimate, estimate_demand
+
+
+def observation_from_loads(compiled, loads: np.ndarray) -> LinkLoadObservation:
+    """Wrap a raw per-edge load vector as a full-coverage link observation."""
+    loads = np.asarray(loads, dtype=float)
+    if loads.shape != (compiled.num_edges,):
+        raise TelemetryError(
+            f"load vector has shape {loads.shape}, expected "
+            f"({compiled.num_edges},) for the compiled routing"
+        )
+    return LinkLoadObservation(
+        loads=loads,
+        observed=np.ones(compiled.num_edges, dtype=bool),
+        granularity="link",
+        noise=0.0,
+        coverage=1.0,
+        sources=(),
+        edges=tuple(compiled.network.edges),
+    )
+
+
+def estimate_from_stats(
+    stats,
+    compiled,
+    method: str = "auto",
+    prior: Optional[np.ndarray] = None,
+    regularization: float = 0.0,
+) -> OdmeEstimate:
+    """One ODME pass from a rolling window's mean link loads.
+
+    ``stats`` must have been built with ``track_loads=True`` (the
+    runner's ``track_loads`` flag); otherwise there is no load window
+    to estimate from and a :class:`TelemetryError` explains the fix.
+    """
+    loads = stats.windowed_mean_loads()
+    if loads is None:
+        raise TelemetryError(
+            "streaming statistics carry no load window — run the stream "
+            "with track_loads=True to enable windowed estimation"
+        )
+    return estimate_demand(
+        compiled,
+        observation_from_loads(compiled, loads),
+        method=method,
+        prior=prior,
+        regularization=regularization,
+    )
+
+
+class WindowedOdmeEstimator:
+    """An ``on_step`` hook that periodically re-estimates the demand.
+
+    Parameters
+    ----------
+    every:
+        Re-estimate on steps ``every-1, 2·every-1, …`` (after the
+        window has absorbed ``every`` fresh observations).
+    method / prior / regularization:
+        Forwarded to :func:`~repro.telemetry.estimate_demand`.
+
+    Collected ``(step, OdmeEstimate)`` pairs live on :attr:`estimates`.
+    """
+
+    def __init__(
+        self,
+        every: int = 8,
+        method: str = "auto",
+        prior: Optional[np.ndarray] = None,
+        regularization: float = 0.0,
+    ) -> None:
+        if every < 1:
+            raise TelemetryError(f"estimation period must be >= 1 steps, got {every}")
+        self.every = int(every)
+        self.method = method
+        self.prior = prior
+        self.regularization = float(regularization)
+        self.estimates: List[Tuple[int, OdmeEstimate]] = []
+
+    def __call__(self, step: int, evaluator, stats) -> None:
+        """The runner hook: called once per replayed step."""
+        if (step + 1) % self.every:
+            return
+        self.estimates.append(
+            (
+                step,
+                estimate_from_stats(
+                    stats,
+                    evaluator.compiled,
+                    method=self.method,
+                    prior=self.prior,
+                    regularization=self.regularization,
+                ),
+            )
+        )
+
+    def latest(self) -> Optional[OdmeEstimate]:
+        """The most recent estimate, or ``None`` before the first one."""
+        return self.estimates[-1][1] if self.estimates else None
+
+    def __repr__(self) -> str:
+        return (
+            f"WindowedOdmeEstimator(every={self.every}, method={self.method!r}, "
+            f"estimates={len(self.estimates)})"
+        )
+
+
+__all__ = [
+    "WindowedOdmeEstimator",
+    "estimate_from_stats",
+    "observation_from_loads",
+]

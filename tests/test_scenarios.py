@@ -302,6 +302,16 @@ def test_real_world_suite_is_bit_identical_across_workers():
     assert serial.to_json() == parallel.to_json()
 
 
+def test_odme_suite_is_bit_identical_across_workers():
+    # Same contract for the telemetry suite: the estimated(...) demand
+    # kind consumes cell-seeded randomness (base series first, then one
+    # observation per snapshot), so worker sharding cannot perturb it.
+    suite = get_suite("odme").with_overrides(num_snapshots=1)
+    serial = run_suite(suite, workers=1)
+    parallel = run_suite(suite, workers=4)
+    assert serial.to_json() == parallel.to_json()
+
+
 def test_real_world_suite_is_bit_identical_on_the_numpy_only_leg(monkeypatch):
     # The numpy-only leg: compiled evaluation falls back to the dense
     # representation (HAVE_SCIPY monkeypatched off, as in test_linalg).
