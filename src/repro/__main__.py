@@ -26,11 +26,16 @@ Subcommands
         python -m repro scenarios describe smoke
         python -m repro scenarios run --suite smoke --workers 2 --json
         python -m repro scenarios run --suite failures --output sweep.json
+        python -m repro scenarios run --suite real-world --workers 4 \
+            --artifact-dir sweeps/rw            # killable: streams cell results
+        python -m repro scenarios run --suite real-world --workers 4 \
+            --resume sweeps/rw                  # finishes only the missing cells
 
     ``run`` executes every grid cell (candidate paths installed once per
     topology, deterministic per-cell seeds) and prints the harness table
     rendering — or, with ``--json``, the artifact itself, which is
-    bit-identical for any ``--workers`` value.
+    bit-identical for any ``--workers`` value, executor, or
+    kill-and-resume history.
 
 ``stream``
     Streaming traffic replay: play a time-varying demand stream through
@@ -182,11 +187,13 @@ def _build_te_network(topology: str, seed: int):
         try:
             return load_network(topology)
         except NetError as error:
-            raise SystemExit(str(error))
+            print(str(error), file=sys.stderr)
+            raise SystemExit(2)
     try:
         size = int(size_text) if size_text else None
     except ValueError:
-        raise SystemExit(f"topology size must be an integer, got {topology!r}")
+        print(f"topology size must be an integer, got {topology!r}", file=sys.stderr)
+        raise SystemExit(2)
     if name == "hypercube":
         return topologies.hypercube(size if size is not None else 4)
     if name == "torus":
@@ -195,10 +202,12 @@ def _build_te_network(topology: str, seed: int):
         return topologies.random_regular_expander(size if size is not None else 12, rng=seed)
     if name == "waxman":
         return waxman_isp(size if size is not None else 14, rng=seed)
-    raise SystemExit(
+    print(
         f"unknown topology {topology!r} (use hypercube:K, torus:K, expander:N, "
-        f"waxman:N, or a catalog name like zoo(abilene) / sndlib(geant))"
+        f"waxman:N, or a catalog name like zoo(abilene) / sndlib(geant))",
+        file=sys.stderr,
     )
+    raise SystemExit(2)
 
 
 def _cmd_te(
@@ -277,6 +286,9 @@ def _cmd_scenarios_run(
     as_json: bool,
     output: Optional[str],
     backend: str = "dict",
+    executor: str = "auto",
+    artifact_dir: Optional[str] = None,
+    resume: Optional[str] = None,
 ) -> int:
     from repro.exceptions import ReproError
     from repro.scenarios import get_suite, run_suite
@@ -290,7 +302,18 @@ def _cmd_scenarios_run(
         print(error, file=sys.stderr)
         return 2
     start = time.perf_counter()
-    result = run_suite(suite, workers=workers, backend=backend)
+    try:
+        result = run_suite(
+            suite,
+            workers=workers,
+            backend=backend,
+            executor=executor,
+            artifact_dir=artifact_dir,
+            resume=resume,
+        )
+    except (ReproError, ValueError) as error:
+        print(error, file=sys.stderr)
+        return 2
     elapsed = time.perf_counter() - start
     artifact = result.to_json()
     if output:
@@ -444,9 +467,15 @@ def _cmd_bench(
                 None,
             )
             speedup_text = f"{speedup:.1f}x" if speedup else "n/a"
+            extras = ""
+            if "max_abs_difference" in payload:
+                extras += f" max|diff|={payload['max_abs_difference']:.2e}"
+            if "artifacts_identical" in payload:
+                extras += f" identical={payload['artifacts_identical']}"
+            if "leaked_segments" in payload:
+                extras += f" leaked={payload['leaked_segments']}"
             print(f"{name}: n={payload['network']['n']} m={payload['network']['m']} "
-                  f"{timings} speedup={speedup_text} "
-                  f"max|diff|={payload['max_abs_difference']:.2e}")
+                  f"{timings} speedup={speedup_text}{extras}")
             print(f"  wrote {path}", file=sys.stderr)
     if as_json:
         print(json_dumps(payloads))
@@ -754,6 +783,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                             default="dict",
                             help="evaluation backend for fixed-ratio schemes "
                                  "(dict reproduces reference artifacts bit for bit)")
+    from repro.scenarios.runner import EXECUTOR_CHOICES
+
+    run_parser.add_argument("--executor", choices=EXECUTOR_CHOICES, default="auto",
+                            help="execution strategy (auto: inline for --workers 1, "
+                                 "shared-memory cell queue otherwise)")
+    run_parser.add_argument("--artifact-dir", default=None,
+                            help="stream per-cell results into a resumable store "
+                                 "at this directory")
+    run_parser.add_argument("--resume", default=None,
+                            help="resume from the store at this directory, "
+                                 "skipping completed cells")
 
     stream_parser = subparsers.add_parser(
         "stream", help="streaming traffic replay with online rerouting policies"
@@ -884,7 +924,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.scenario_command == "run":
             return _cmd_scenarios_run(
                 args.suite, args.workers, args.seed, args.snapshots, args.json, args.output,
-                backend=args.backend,
+                backend=args.backend, executor=args.executor,
+                artifact_dir=args.artifact_dir, resume=args.resume,
             )
         return 2
     if args.command == "stream":

@@ -60,6 +60,16 @@ class Routing:
     def network(self) -> Network:
         return self._network
 
+    def __getstate__(self):
+        # Evaluator caches hold compiled operators (potentially large
+        # scipy/numpy matrices); they are rebuildable from the
+        # distributions, so pickles ship lean and receivers either
+        # recompile lazily or re-seed via :meth:`attach_evaluator`
+        # (shared-memory sweep workers do the latter).
+        state = self.__dict__.copy()
+        state["_evaluators"] = {}
+        return state
+
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
@@ -176,6 +186,20 @@ class Routing:
             evaluator = build_evaluator(self, backend)
             self._evaluators[backend] = evaluator
         return evaluator
+
+    def attach_evaluator(self, backend: str, evaluator: object) -> None:
+        """Seed the evaluator cache for ``backend`` with a prebuilt instance.
+
+        The shared-memory sweep executor compiles operators once in the
+        parent and rebuilds evaluators in workers from zero-copy array
+        views; attaching them here makes :meth:`evaluator` (and every
+        metric built on it) hit the prebuilt form instead of recompiling.
+        ``backend`` must already be resolved (``"sparse"``/``"dense"``/
+        ``"dict"``), matching the cache keys :meth:`evaluator` uses.  The
+        attachment is invalidated by mutation exactly like a cached
+        compile.
+        """
+        self._evaluators[backend] = evaluator
 
     def edge_congestions(self, demand: Demand) -> Dict[Tuple[Vertex, Vertex], float]:
         """Per-edge congestion ``cong(R, d, e)`` (load / capacity)."""

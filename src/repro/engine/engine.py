@@ -484,10 +484,58 @@ class RoutingEngine:
         )
 
     # ------------------------------------------------------------------ #
+    # Installed-state transport (shared-memory sweep workers)
+    # ------------------------------------------------------------------ #
+    def export_compiled(self, backend: str) -> Dict[str, Any]:
+        """Compile every fixed-ratio scheme once; ``label -> CompiledRouting``.
+
+        The parent side of the shared-memory sweep handshake: the
+        returned compiled routings expose :meth:`~repro.linalg.compiled.
+        CompiledRouting.export_arrays`, whose arrays travel to workers
+        through ``multiprocessing.shared_memory`` while the (lean —
+        :meth:`~repro.core.routing.Routing.__getstate__` strips evaluator
+        caches) pickled engine travels through pool initargs.  Schemes
+        without a fixed materialized routing (LP rate adaptation, the
+        optimal MCF) have nothing to compile and are skipped.
+        """
+        from repro.engine.adapters import FixedRatioRouter
+
+        self._ensure_installed()
+        compiled: Dict[str, Any] = {}
+        for label, router in self._routers.items():
+            if isinstance(router, FixedRatioRouter):
+                compiled[label] = router.routing.evaluator(backend).compiled
+        return compiled
+
+    def attach_compiled(self, label: str, compiled: Any) -> None:
+        """Seed scheme ``label`` with a compiled routing rebuilt elsewhere.
+
+        The worker side of the handshake: ``compiled`` is typically
+        :meth:`~repro.linalg.compiled.CompiledRouting.from_arrays` over
+        zero-copy shared-memory views.  The scheme's routing caches a
+        :class:`~repro.linalg.evaluator.SparseEvaluator` under the
+        compiled representation, so routing demands through the scheme
+        hits the attached operators instead of recompiling.
+        """
+        from repro.linalg.evaluator import SparseEvaluator
+
+        routing = self[label].routing
+        routing.attach_evaluator(
+            compiled.representation, SparseEvaluator(compiled, source_routing=routing)
+        )
+
+    # ------------------------------------------------------------------ #
     # Scenario sweeps
     # ------------------------------------------------------------------ #
     @staticmethod
-    def run_suite(suite, workers: int = 1, backend: str = "dict"):
+    def run_suite(
+        suite,
+        workers: int = 1,
+        backend: str = "dict",
+        executor: str = "auto",
+        artifact_dir=None,
+        resume=None,
+    ):
         """Execute a :class:`~repro.scenarios.spec.ScenarioSuite` grid.
 
         The batch entry point of the scenario-sweep subsystem: every cell
@@ -499,11 +547,23 @@ class RoutingEngine:
         ``backend`` selects the evaluation backend for fixed-ratio
         schemes (``"dict"`` keeps the reference bit-exact artifacts;
         ``"sparse"`` evaluates through compiled linear algebra,
-        numerically equivalent within 1e-9).
+        numerically equivalent within 1e-9).  ``executor`` picks the
+        fan-out strategy (``"shared"`` compiles once and publishes
+        operators via shared memory), ``artifact_dir`` streams per-cell
+        results into a resumable on-disk store, and ``resume`` points at
+        such a store to skip already-completed cells — see
+        :func:`repro.scenarios.runner.run_suite`.
         """
         from repro.scenarios.runner import run_suite as _run_suite
 
-        return _run_suite(suite, workers=workers, backend=backend)
+        return _run_suite(
+            suite,
+            workers=workers,
+            backend=backend,
+            executor=executor,
+            artifact_dir=artifact_dir,
+            resume=resume,
+        )
 
     def __repr__(self) -> str:
         return (

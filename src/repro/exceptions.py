@@ -92,6 +92,18 @@ class TelemetryError(ReproError):
     """
 
 
+class ArtifactError(ReproError):
+    """Raised when an on-disk sweep artifact store is inconsistent.
+
+    Examples include opening a store whose manifest hash does not match
+    the suite/backend being resumed, duplicate per-cell completion
+    records, and corrupt chunk data that is *not* explainable as a
+    crash-truncated final line.  (A truncated final line in the last
+    chunk is **not** an error: that is the expected signature of a
+    killed writer, and the store drops it on resume by design.)
+    """
+
+
 class TopologyFormatError(NetError):
     """Raised when a topology file cannot be parsed into a :class:`Network`.
 

@@ -269,6 +269,7 @@ _EXTERNAL_BENCH_MODULES = (
     "repro.stream.bench",
     "repro.net.bench",
     "repro.telemetry.bench",
+    "repro.scenarios.bench",
 )
 
 

@@ -172,6 +172,91 @@ class CompiledRouting:
         )
 
     # ------------------------------------------------------------------ #
+    # Array export / attach (shared-memory transport)
+    # ------------------------------------------------------------------ #
+    def export_arrays(self) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+        """Split the compiled form into small metadata plus raw arrays.
+
+        Returns ``(metadata, arrays)``: ``metadata`` is a small picklable
+        dict (pairs, representation, operator shape) and ``arrays`` maps
+        canonical names to the underlying numpy arrays — index arrays,
+        capacities, coverage mask, and the pair × edge operator (CSR
+        ``data``/``indices``/``indptr`` triple in the sparse
+        representation, one dense array otherwise).  Publishing the
+        arrays through ``multiprocessing.shared_memory`` and rebuilding
+        with :meth:`from_arrays` reconstructs an equivalent compiled
+        routing without copying or recompiling; the scenario sweep
+        executor (:mod:`repro.scenarios.shm`) is the intended consumer.
+        """
+        arrays: Dict[str, np.ndarray] = {
+            "capacities": self._capacities,
+            "path_pair": self._path_pair,
+            "path_prob": self._path_prob,
+            "path_hops": self._path_hops,
+            "inc_rows": self._inc_rows,
+            "inc_cols": self._inc_cols,
+            "pair_max_hops": self._pair_max_hops,
+            "covered": self._covered,
+        }
+        if self._representation == "sparse":
+            operator = self._pair_edge
+            arrays["operator_data"] = np.asarray(operator.data)
+            arrays["operator_indices"] = np.asarray(operator.indices)
+            arrays["operator_indptr"] = np.asarray(operator.indptr)
+        else:
+            arrays["operator_dense"] = np.asarray(self._pair_edge)
+        metadata: Dict[str, object] = {
+            "representation": self._representation,
+            "pairs": self._pairs,
+            "operator_shape": (self.num_pairs, self.num_edges),
+        }
+        return metadata, arrays
+
+    @classmethod
+    def from_arrays(
+        cls,
+        network: Network,
+        metadata: Mapping[str, object],
+        arrays: Mapping[str, np.ndarray],
+    ) -> "CompiledRouting":
+        """Rebuild a compiled routing from :meth:`export_arrays` output.
+
+        ``arrays`` may be views over a shared-memory buffer (typically
+        read-only); nothing is copied — evaluation and :meth:`rebased`
+        only ever read the attached arrays and allocate fresh outputs.
+        ``network`` must be structurally identical to the network the
+        arrays were compiled from (same edge indexing); the scenario
+        workers guarantee this by rebuilding topologies from the same
+        seeded specs.
+        """
+        representation = str(metadata["representation"])
+        shape = tuple(metadata["operator_shape"])  # type: ignore[arg-type]
+        if representation == "sparse":
+            from scipy import sparse as scipy_sparse  # deferred: dense leg has no scipy
+
+            pair_edge = scipy_sparse.csr_matrix(
+                (arrays["operator_data"], arrays["operator_indices"], arrays["operator_indptr"]),
+                shape=shape,
+                copy=False,
+            )
+        else:
+            pair_edge = np.asarray(arrays["operator_dense"])
+        return cls(
+            network=network,
+            pairs=tuple(metadata["pairs"]),  # type: ignore[arg-type]
+            capacities=np.asarray(arrays["capacities"]),
+            path_pair=np.asarray(arrays["path_pair"]),
+            path_prob=np.asarray(arrays["path_prob"]),
+            path_hops=np.asarray(arrays["path_hops"]),
+            inc_rows=np.asarray(arrays["inc_rows"]),
+            inc_cols=np.asarray(arrays["inc_cols"]),
+            pair_edge=pair_edge,
+            pair_max_hops=np.asarray(arrays["pair_max_hops"]),
+            covered=np.asarray(arrays["covered"]),
+            representation=representation,
+        )
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     @property

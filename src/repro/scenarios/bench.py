@@ -1,0 +1,182 @@
+"""The ``sweep`` bench target: shared-memory executor vs rebuild baseline.
+
+Registered with the :mod:`repro.linalg.bench` target registry (the
+``repro bench sweep`` CLI path).  The bench runs one install-heavy
+scenario suite twice through :func:`repro.scenarios.runner.run_suite`
+with identical worker counts:
+
+* ``rebuild`` — the honest baseline the shared executor replaces: a
+  cell-granular work queue whose workers rebuild and re-install every
+  topology's engine on first touch, so ``W`` workers pay up to ``W``
+  oblivious-routing constructions per topology;
+* ``shared`` — the production path: the parent installs each engine
+  once, ships it lean through pool initargs, and publishes the compiled
+  fixed-ratio operators through ``multiprocessing.shared_memory``
+  (zero-copy read-only views in the workers).
+
+The suite is deliberately construction-dominated: hop-constrained
+oblivious routing (the paper's central object) with a deep tree
+ensemble makes installation expensive, while single-snapshot
+``permutation`` demands keep the per-cell LP evaluations cheap — the
+regime real catalog sweeps live in once topologies stop being toys.
+Every failure axis has at least as many cells per topology as workers,
+so the rebuild baseline genuinely touches each topology from (almost)
+every worker.
+
+Two correctness gates ride along in the payload: ``artifacts_identical``
+records that both executors serialized bit-identical suite artifacts,
+and ``leaked_segments`` counts ``repro_shm_*`` segments still alive
+after both runs (must be zero — the parent unlinks on exit).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.linalg.bench import BENCH_SCHEMA, environment_info, register_bench
+from repro.utils.timing import Stopwatch
+
+from repro.scenarios.runner import _STREAM_TOPOLOGY, _derived_rng, run_suite
+from repro.scenarios.shm import cleanup_stale_segments, live_segments
+from repro.scenarios.spec import (
+    DemandSpec,
+    FailureSpec,
+    ScenarioSuite,
+    TopologySpec,
+)
+
+#: Per-scale suite shape: topology axis, hop-constrained ensemble depth,
+#: failure axis length, and pool size.  Failure cells per topology stay
+#: >= workers so every rebuild worker pays installs for every topology.
+_SWEEP_SCALES: Dict[str, Dict[str, Any]] = {
+    "smoke": {
+        "topologies": (("torus", 4), ("hypercube", 3)),
+        "hop_bound": 6,
+        "num_trees": 4,
+        "num_failures": 2,
+        "workers": 2,
+    },
+    "small": {
+        "topologies": (("torus", 5), ("hypercube", 4)),
+        "hop_bound": 8,
+        "num_trees": 16,
+        "num_failures": 4,
+        "workers": 2,
+    },
+    "full": {
+        "topologies": (("torus", 6), ("torus", 5), ("hypercube", 4)),
+        "hop_bound": 10,
+        "num_trees": 64,
+        "num_failures": 4,
+        "workers": 4,
+    },
+}
+
+
+def sweep_bench_suite(scale: str = "small", seed: int = 0) -> ScenarioSuite:
+    """The install-heavy suite a given bench scale executes."""
+    if scale not in _SWEEP_SCALES:
+        raise ValueError(
+            f"unknown bench scale {scale!r}; available: {sorted(_SWEEP_SCALES)}"
+        )
+    config = _SWEEP_SCALES[scale]
+    failures = [FailureSpec("none")]
+    failures += [
+        FailureSpec("k-edge", params=(("k", k),))
+        for k in range(1, int(config["num_failures"]))
+    ]
+    return ScenarioSuite(
+        name=f"bench-sweep-{scale}",
+        description=(
+            "install-dominated executor benchmark: hop-constrained oblivious "
+            f"routing ({config['num_trees']} trees) across "
+            f"{len(config['topologies'])} topologies"
+        ),
+        topologies=[TopologySpec(kind, size) for kind, size in config["topologies"]],
+        demands=[DemandSpec("permutation")],
+        failures=failures,
+        schemes=(
+            "oblivious(hop-constrained, hop_bound="
+            f"{config['hop_bound']}, num_trees={config['num_trees']})",
+            "spf",
+        ),
+        num_snapshots=1,
+        seed=seed,
+    )
+
+
+def bench_sweep(scale: str = "small", seed: int = 0) -> Dict[str, Any]:
+    """Time the shared-memory executor against the rebuild-per-worker baseline."""
+    config = _SWEEP_SCALES[scale]
+    suite = sweep_bench_suite(scale, seed)
+    workers = int(config["workers"])
+
+    networks = [
+        spec.build(_derived_rng(suite.seed, _STREAM_TOPOLOGY, index))
+        for index, spec in enumerate(suite.topologies)
+    ]
+
+    cleanup_stale_segments()
+    with Stopwatch() as rebuild_watch:
+        rebuild_result = run_suite(
+            suite, workers=workers, backend="auto", executor="rebuild"
+        )
+    with Stopwatch() as shared_watch:
+        shared_result = run_suite(
+            suite, workers=workers, backend="auto", executor="shared"
+        )
+    leaked = live_segments()
+
+    num_cells = suite.num_cells()
+    rebuild_seconds = rebuild_watch.elapsed
+    shared_seconds = shared_watch.elapsed
+    return {
+        "schema": BENCH_SCHEMA,
+        "name": "sweep",
+        "scale": scale,
+        "seed": seed,
+        "network": {
+            "name": "+".join(network.name for network in networks),
+            "n": sum(network.num_vertices for network in networks),
+            "m": sum(network.num_edges for network in networks),
+        },
+        "workload": {
+            "num_topologies": len(suite.topologies),
+            "num_cells": num_cells,
+            "num_snapshots": suite.num_snapshots,
+            "workers": workers,
+            "schemes": list(suite.schemes),
+            "backend": shared_result.backend,
+        },
+        "backends": {
+            "rebuild": {
+                "backend": "rebuild-per-worker",
+                "seconds": rebuild_seconds,
+                "cells_per_sec": (
+                    num_cells / rebuild_seconds if rebuild_seconds > 0 else None
+                ),
+            },
+            "shared": {
+                "backend": "shared-memory",
+                "seconds": shared_seconds,
+                "cells_per_sec": (
+                    num_cells / shared_seconds if shared_seconds > 0 else None
+                ),
+            },
+        },
+        "speedup_shared_over_rebuild": (
+            rebuild_seconds / shared_seconds if shared_seconds > 0 else None
+        ),
+        "artifacts_identical": rebuild_result.to_json() == shared_result.to_json(),
+        "leaked_segments": len(leaked),
+        "environment": environment_info(),
+    }
+
+
+register_bench(
+    "sweep",
+    bench_sweep,
+    "sweep executors: shared-memory operators vs rebuild-per-worker engines",
+)
+
+__all__ = ["bench_sweep", "sweep_bench_suite"]

@@ -1,16 +1,50 @@
 """Scenario-suite execution: install once per topology, fan cells out.
 
 The runner realizes the SMORE-style sweep loop on top of the
-:class:`~repro.engine.engine.RoutingEngine` facade.  Work is sharded by
-*topology*: each shard builds its network, constructs one engine (one
-oblivious-routing build, one :class:`CutCache`, one memoized optimal-MCF
-solver), installs candidate paths once, and then evaluates every grid
-cell of that topology.  Shards are independent, so they run either
-inline (``workers=1``) or on a ``multiprocessing`` pool — and because
-every random draw is keyed off ``(suite.seed, stream, index)`` via
-:class:`numpy.random.SeedSequence`, both modes produce **bit-identical**
-artifacts (rows are reassembled in canonical cell order, never in worker
-completion order).
+:class:`~repro.engine.engine.RoutingEngine` facade.  Because every
+random draw is keyed off ``(suite.seed, stream, index)`` via
+:class:`numpy.random.SeedSequence`, every execution mode produces
+**bit-identical** artifacts (rows are reassembled in canonical cell
+order, never in worker completion order).
+
+Executors
+---------
+
+``inline``
+    Everything in-process: one engine per topology, built lazily,
+    cells evaluated in canonical order.  The ``workers=1`` default.
+
+``shared`` (default for ``workers > 1``)
+    The production path.  The parent builds and installs one engine per
+    topology **once**, compiles the fixed-ratio operators (when a
+    compiled backend is selected) and publishes their arrays through
+    ``multiprocessing.shared_memory`` (:mod:`repro.scenarios.shm`);
+    workers receive the lean pickled engines via pool initargs, attach
+    zero-copy read-only operator views, and drain a **cell-granular**
+    work queue (``imap_unordered``, chunk size 1) so stragglers never
+    serialize behind big topologies and more workers than topologies
+    are fully used.
+
+``rebuild``
+    Same cell-granular queue, but every worker rebuilds engines from
+    the spec on first touch — what ``shared`` replaces; kept as the
+    honest baseline for ``repro bench sweep``.
+
+``shard``
+    The legacy one-process-per-topology ``pool.map`` path, kept for
+    equivalence testing.
+
+Resumable artifact store
+------------------------
+
+With ``artifact_dir=`` (or ``resume=``) every completed cell is
+streamed — by the parent, the store's single writer — into an
+append-only chunked :class:`~repro.scenarios.store.ArtifactStore`.  A
+killed sweep resumes by re-opening the store (validated against the
+content hash of ``(suite, backend)``), dropping at most one
+crash-truncated trailing record, and evaluating only the missing
+cells; finalization re-serializes from store records, so the resumed
+artifact is byte-identical to an uninterrupted run's.
 
 Cell semantics
 --------------
@@ -35,6 +69,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -279,7 +314,116 @@ def _evaluate_cell(
 
 
 # --------------------------------------------------------------------- #
-# Topology shards
+# Engine construction (shared by every executor)
+# --------------------------------------------------------------------- #
+def _build_topology_engine(
+    suite: ScenarioSuite, topology_index: int, backend: str
+) -> RoutingEngine:
+    """One installed engine for a topology — identical in every executor.
+
+    Topology construction and scheme installation consume exactly the
+    ``(_STREAM_TOPOLOGY, index)`` / ``(_STREAM_ENGINE, index)`` streams,
+    so a parent-built engine, a worker-rebuilt engine, and a legacy
+    shard engine are interchangeable bit for bit.
+    """
+    topology_spec = suite.topologies[topology_index]
+    network = topology_spec.build(_derived_rng(suite.seed, _STREAM_TOPOLOGY, topology_index))
+    engine = RoutingEngine(
+        network,
+        list(suite.schemes),
+        rng=_derived_rng(suite.seed, _STREAM_ENGINE, topology_index),
+        backend=None if backend == "dict" else backend,
+    )
+    engine.install()
+    return engine
+
+
+# --------------------------------------------------------------------- #
+# Test hooks (crash/fault injection for the resume harness)
+# --------------------------------------------------------------------- #
+def _apply_test_hooks(cell_index: int) -> None:
+    """Honor the env-var fault-injection hooks of ``tests/test_sweep_resume``.
+
+    ``REPRO_SWEEP_DELAY_MS`` sleeps before evaluating each cell (so a
+    kill test reliably lands mid-sweep); ``REPRO_SWEEP_FAIL_CELL``
+    raises inside exactly that cell's evaluation.  Both are inert when
+    unset and apply uniformly across executors.
+    """
+    delay = os.environ.get("REPRO_SWEEP_DELAY_MS")
+    if delay:
+        time.sleep(float(delay) / 1000.0)
+    fail = os.environ.get("REPRO_SWEEP_FAIL_CELL")
+    if fail not in (None, "") and int(fail) == cell_index:
+        raise RuntimeError(
+            f"injected failure in cell {cell_index} (REPRO_SWEEP_FAIL_CELL)"
+        )
+
+
+# --------------------------------------------------------------------- #
+# Cell-granular workers (shared + rebuild executors)
+# --------------------------------------------------------------------- #
+#: Per-process executor state, populated by the pool initializers.
+_WORKER: Dict[str, Any] = {}
+
+
+def _init_shared_worker(suite_payload, backend, engines, descriptors) -> None:
+    """Pool initializer: adopt parent-built engines, attach shm operators.
+
+    ``engines`` arrives through initargs pickling — lean, because
+    :meth:`Routing.__getstate__` strips evaluator caches — and
+    ``descriptors`` maps ``topology_index -> {label: (meta,
+    descriptor)}`` for the compiled operators published in shared
+    memory.  Attaching rebuilds each :class:`CompiledRouting` as
+    zero-copy read-only views and seeds the routing's evaluator cache,
+    so workers never recompile.
+    """
+    from repro.linalg.compiled import CompiledRouting
+    from repro.scenarios.shm import attach_arrays
+
+    suite = ScenarioSuite.from_dict(suite_payload)
+    for topology_index, per_label in descriptors.items():
+        engine = engines[topology_index]
+        for label, (meta, descriptor) in per_label.items():
+            compiled = CompiledRouting.from_arrays(
+                engine.network, meta, attach_arrays(descriptor)
+            )
+            engine.attach_compiled(label, compiled)
+    _WORKER.update(suite=suite, backend=backend, engines=engines)
+
+
+def _shared_cell_task(cell_index: int) -> Tuple[int, Dict[str, Any], int]:
+    """Evaluate one cell against the adopted per-topology engine."""
+    suite: ScenarioSuite = _WORKER["suite"]
+    _apply_test_hooks(cell_index)
+    cell = suite.cell(cell_index)
+    engine: RoutingEngine = _WORKER["engines"][cell.topology_index]
+    payload = _evaluate_cell(suite, cell, engine.network, engine)
+    return cell_index, payload, os.getpid()
+
+
+def _init_rebuild_worker(suite_payload, backend) -> None:
+    """Pool initializer for the rebuild baseline: spec only, no shared state."""
+    _WORKER.update(
+        suite=ScenarioSuite.from_dict(suite_payload), backend=backend, engines={}
+    )
+
+
+def _rebuild_cell_task(cell_index: int) -> Tuple[int, Dict[str, Any], int]:
+    """Evaluate one cell, rebuilding the topology's engine on first touch."""
+    suite: ScenarioSuite = _WORKER["suite"]
+    _apply_test_hooks(cell_index)
+    cell = suite.cell(cell_index)
+    engines: Dict[int, RoutingEngine] = _WORKER["engines"]
+    engine = engines.get(cell.topology_index)
+    if engine is None:
+        engine = _build_topology_engine(suite, cell.topology_index, _WORKER["backend"])
+        engines[cell.topology_index] = engine
+    payload = _evaluate_cell(suite, cell, engine.network, engine)
+    return cell_index, payload, os.getpid()
+
+
+# --------------------------------------------------------------------- #
+# Legacy topology shards
 # --------------------------------------------------------------------- #
 def _run_topology_shard(task: Tuple[Dict[str, Any], int, str]) -> List[Dict[str, Any]]:
     """Worker entry point: evaluate every cell of one topology.
@@ -291,44 +435,15 @@ def _run_topology_shard(task: Tuple[Dict[str, Any], int, str]) -> List[Dict[str,
     """
     suite_payload, topology_index, backend = task
     suite = ScenarioSuite.from_dict(suite_payload)
-    topology_spec = suite.topologies[topology_index]
-    network = topology_spec.build(_derived_rng(suite.seed, _STREAM_TOPOLOGY, topology_index))
-    engine = RoutingEngine(
-        network,
-        list(suite.schemes),
-        rng=_derived_rng(suite.seed, _STREAM_ENGINE, topology_index),
-        backend=None if backend == "dict" else backend,
-    )
-    engine.install()
+    engine = _build_topology_engine(suite, topology_index, backend)
     cells = [cell for cell in suite.cells() if cell.topology_index == topology_index]
-    return [_evaluate_cell(suite, cell, network, engine) for cell in cells]
+    return [_evaluate_cell(suite, cell, engine.network, engine) for cell in cells]
 
 
-def run_suite(
-    suite: ScenarioSuite,
-    workers: int = 1,
-    backend: str = "dict",
-) -> SuiteResult:
-    """Execute every cell of ``suite``; deterministic for any ``workers``.
-
-    ``workers=1`` runs the topology shards inline; ``workers>1`` fans
-    them out on a spawn-context ``multiprocessing`` pool (capped at the
-    number of shards).  The returned :class:`SuiteResult` is identical —
-    bit for bit — in both modes.
-
-    ``backend`` selects the evaluation backend for fixed-ratio schemes:
-    ``"dict"`` (default) reproduces the reference artifacts bit for bit;
-    ``"sparse"``/``"dense"``/``"auto"`` evaluate through the compiled
-    linear-algebra backend (numerically equivalent within 1e-9; failure
-    cells rebase the compiled operators instead of re-filtering path
-    dicts per snapshot).
-    """
-    if workers < 1:
-        raise ValueError("workers must be at least 1")
-    if backend not in BACKEND_CHOICES:
-        raise ValueError(
-            f"unknown evaluation backend {backend!r}; available: {list(BACKEND_CHOICES)}"
-        )
+def _run_suite_shard_cells(
+    suite: ScenarioSuite, workers: int, backend: str
+) -> List[Dict[str, Any]]:
+    """The pre-store executor: one ``pool.map`` task per topology."""
     suite_payload = suite.to_dict()
     tasks = [
         (suite_payload, topology_index, backend)
@@ -337,20 +452,194 @@ def run_suite(
     if workers == 1 or len(tasks) == 1:
         shard_results = [_run_topology_shard(task) for task in tasks]
     else:
-        pool_size = min(workers, len(tasks), os.cpu_count() or 1)
+        pool_size = min(workers, len(tasks))
         context = multiprocessing.get_context("spawn")
         with context.Pool(processes=pool_size) as pool:
             shard_results = pool.map(_run_topology_shard, tasks)
-    cells = sorted(
+    return sorted(
         (cell for shard in shard_results for cell in shard), key=lambda cell: cell["cell"]
     )
-    # Record the *resolved* backend ("sparse" resolves to "dense" on
-    # numpy-only installs), so the artifact attributes what actually ran.
-    if backend != "dict":
-        from repro.linalg._matrix import resolve_representation
-
-        backend = resolve_representation(backend)
-    return SuiteResult(suite=suite, cells=cells, backend=backend)
 
 
-__all__ = ["run_suite"]
+# --------------------------------------------------------------------- #
+# The sweep entry point
+# --------------------------------------------------------------------- #
+#: Accepted ``executor=`` values; ``auto`` maps to inline/shared.
+EXECUTOR_CHOICES = ("auto", "inline", "shared", "rebuild", "shard")
+
+
+def _record_completion(store, payloads, index, payload, pid) -> None:
+    if store is not None:
+        store.record_cell(index, payload, pid=pid)
+        # Use the store's normalized copy (the JSON round trip maps
+        # tuples to lists, non-finite floats to null) so a streamed run
+        # and a resumed run assemble from identical objects.
+        payloads[index] = store.payload(index)
+    else:
+        payloads[index] = payload
+
+
+def _run_pending_cells(
+    suite: ScenarioSuite,
+    pending: List[int],
+    workers: int,
+    backend: str,
+    executor: str,
+    store,
+    payloads: Dict[int, Dict[str, Any]],
+) -> None:
+    """Evaluate ``pending`` cells through the selected executor."""
+    from repro.scenarios.shm import publish_arrays, release_parent_segments
+
+    if executor == "inline":
+        engines: Dict[int, RoutingEngine] = {}
+        for index in pending:
+            _apply_test_hooks(index)
+            cell = suite.cell(index)
+            engine = engines.get(cell.topology_index)
+            if engine is None:
+                engine = _build_topology_engine(suite, cell.topology_index, backend)
+                engines[cell.topology_index] = engine
+            payload = _evaluate_cell(suite, cell, engine.network, engine)
+            _record_completion(store, payloads, index, payload, os.getpid())
+        return
+
+    # Cell-granular pool executors.  Pool size is capped only by the
+    # amount of pending work — NOT by the number of topologies (the old
+    # shard executor wasted workers > len(topologies)) and not by
+    # os.cpu_count() (oversubscription is the caller's call).
+    pool_size = max(1, min(workers, len(pending)))
+    context = multiprocessing.get_context("spawn")
+    segments: List[Any] = []
+    try:
+        if executor == "shared":
+            topology_indices = sorted({suite.cell(i).topology_index for i in pending})
+            engines = {
+                index: _build_topology_engine(suite, index, backend)
+                for index in topology_indices
+            }
+            descriptors: Dict[int, Dict[str, Any]] = {}
+            if backend != "dict":
+                for topology_index, engine in engines.items():
+                    per_label: Dict[str, Any] = {}
+                    for label, compiled in engine.export_compiled(backend).items():
+                        meta, arrays = compiled.export_arrays()
+                        segment, descriptor = publish_arrays(arrays)
+                        segments.append(segment)
+                        per_label[label] = (meta, descriptor)
+                    descriptors[topology_index] = per_label
+            initializer = _init_shared_worker
+            initargs = (suite.to_dict(), backend, engines, descriptors)
+            task = _shared_cell_task
+        else:  # rebuild
+            initializer = _init_rebuild_worker
+            initargs = (suite.to_dict(), backend)
+            task = _rebuild_cell_task
+        with context.Pool(
+            processes=pool_size, initializer=initializer, initargs=initargs
+        ) as pool:
+            for index, payload, pid in pool.imap_unordered(task, pending, chunksize=1):
+                _record_completion(store, payloads, index, payload, pid)
+    finally:
+        release_parent_segments(segments)
+
+
+def run_suite(
+    suite: ScenarioSuite,
+    workers: int = 1,
+    backend: str = "dict",
+    executor: str = "auto",
+    artifact_dir: Optional[str] = None,
+    resume: Optional[str] = None,
+) -> SuiteResult:
+    """Execute every cell of ``suite``; deterministic for any ``workers``.
+
+    The returned :class:`SuiteResult` is identical — bit for bit —
+    across worker counts, executors, kills, and resumes.
+
+    ``backend`` selects the evaluation backend for fixed-ratio schemes:
+    ``"dict"`` (default) reproduces the reference artifacts bit for bit;
+    ``"sparse"``/``"dense"``/``"auto"`` evaluate through the compiled
+    linear-algebra backend (numerically equivalent within 1e-9; failure
+    cells rebase the compiled operators instead of re-filtering path
+    dicts per snapshot).
+
+    ``executor`` picks the execution strategy (see the module docs):
+    ``"auto"`` (inline for ``workers=1``, shared otherwise),
+    ``"inline"``, ``"shared"`` (compile once in the parent, publish
+    operators via shared memory, cell-granular queue), ``"rebuild"``
+    (cell-granular, per-worker engine rebuilds — the bench baseline) or
+    ``"shard"`` (legacy one-task-per-topology ``pool.map``).
+
+    ``artifact_dir`` streams completed cells into a resumable
+    :class:`~repro.scenarios.store.ArtifactStore` at that path;
+    ``resume`` re-opens such a store and evaluates only the cells it
+    does not already hold.  Both may name the same directory (the usual
+    kill-and-resume flow); pointing them at *different* paths is an
+    error.
+    """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    if backend not in BACKEND_CHOICES:
+        raise ValueError(
+            f"unknown evaluation backend {backend!r}; available: {list(BACKEND_CHOICES)}"
+        )
+    if executor not in EXECUTOR_CHOICES:
+        raise ValueError(
+            f"unknown executor {executor!r}; available: {list(EXECUTOR_CHOICES)}"
+        )
+    if resume is not None and artifact_dir is not None:
+        if os.path.abspath(resume) != os.path.abspath(artifact_dir):
+            raise ValueError(
+                "resume and artifact_dir point at different stores; pass one "
+                "path (or the same path twice)"
+            )
+    store_path = resume if resume is not None else artifact_dir
+    if executor == "auto":
+        executor = "inline" if workers == 1 else "shared"
+    if executor == "shard":
+        if store_path is not None:
+            raise ValueError(
+                "the legacy 'shard' executor predates the artifact store; use "
+                "executor='shared' (or 'inline'/'rebuild') with artifact_dir/resume"
+            )
+        cells = _run_suite_shard_cells(suite, workers, backend)
+        return SuiteResult(suite=suite, cells=cells, backend=_resolved_backend(backend))
+
+    from repro.scenarios.shm import cleanup_stale_segments
+
+    # Debris from a SIGKILLed predecessor (its segments outlive it);
+    # never touches segments of live sweeps.
+    cleanup_stale_segments()
+
+    store = None
+    payloads: Dict[int, Dict[str, Any]] = {}
+    try:
+        if store_path is not None:
+            from repro.scenarios.store import ArtifactStore
+
+            store = ArtifactStore.open_or_create(
+                store_path, suite.to_dict(), backend, suite.num_cells()
+            )
+            payloads.update(store.completed_payloads())
+        pending = [i for i in range(suite.num_cells()) if i not in payloads]
+        if pending:
+            _run_pending_cells(suite, pending, workers, backend, executor, store, payloads)
+    finally:
+        if store is not None:
+            store.close()
+    cells = [payloads[index] for index in range(suite.num_cells())]
+    return SuiteResult(suite=suite, cells=cells, backend=_resolved_backend(backend))
+
+
+def _resolved_backend(backend: str) -> str:
+    """Record the *resolved* backend ("sparse" resolves to "dense" on
+    numpy-only installs), so the artifact attributes what actually ran."""
+    if backend == "dict":
+        return backend
+    from repro.linalg._matrix import resolve_representation
+
+    return resolve_representation(backend)
+
+
+__all__ = ["run_suite", "EXECUTOR_CHOICES"]

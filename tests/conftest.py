@@ -11,6 +11,22 @@ from repro.oblivious.racke import RaeckeTreeRouting
 from repro.oblivious.valiant import ValiantHypercubeRouting
 
 
+@pytest.fixture(scope="session", autouse=True)
+def no_leaked_shm_segments():
+    """Fail the session if a sweep leaked shared-memory segments.
+
+    Dead-owner debris (e.g. from the SIGKILL harness in
+    ``test_sweep_resume``) is swept first — only segments whose owning
+    process is still alive count as leaks.
+    """
+    yield
+    from repro.scenarios.shm import cleanup_stale_segments, live_segments
+
+    cleanup_stale_segments()
+    leaked = live_segments()
+    assert not leaked, f"sweep executor leaked shared-memory segments: {leaked}"
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

@@ -1,0 +1,288 @@
+"""Crash/kill hardening and executor-equivalence tests for the sweep runner.
+
+The claims under test, in order of importance:
+
+1. A sweep SIGKILLed mid-flight resumes from its artifact store and
+   produces a **byte-identical** artifact to an uninterrupted run.
+2. A worker exception (injected via ``REPRO_SWEEP_FAIL_CELL``) aborts
+   the sweep but keeps every already-completed cell; the resume is again
+   bit-identical.
+3. Every executor (inline / shared / rebuild / shard), worker count and
+   evaluation backend assembles the same artifact bit for bit — on the
+   built-in catalog-backed suites too, not just synthetic grids.
+4. More workers than topologies actually get used (the old shard path
+   capped the pool at the topology count).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import (
+    ArtifactStore,
+    DemandSpec,
+    FailureSpec,
+    ScenarioSuite,
+    TopologySpec,
+    get_suite,
+    run_suite,
+)
+from repro.scenarios.shm import cleanup_stale_segments, live_segments
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def probe_suite(**overrides) -> ScenarioSuite:
+    """A cheap 1-topology suite with enough cells to spread over workers."""
+    payload = dict(
+        name="resume-probe",
+        topologies=[TopologySpec("hypercube", 3)],
+        demands=[DemandSpec("permutation"), DemandSpec("gravity")],
+        failures=[
+            FailureSpec("none"),
+            FailureSpec("k-edge", params=(("k", 1),)),
+            FailureSpec("k-edge", params=(("k", 2),)),
+        ],
+        schemes=("ksp(k=2)", "spf"),
+        num_snapshots=1,
+        seed=11,
+    )
+    payload.update(overrides)
+    return ScenarioSuite(**payload)
+
+
+def cli_env(**extra: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_SWEEP_DELAY_MS", None)
+    env.pop("REPRO_SWEEP_FAIL_CELL", None)
+    env.update(extra)
+    return env
+
+
+def run_cli(args, env=None, timeout=300):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=REPO_ROOT,
+        env=env or cli_env(),
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def store_record_count(store_dir: Path) -> int:
+    return sum(
+        1
+        for chunk in store_dir.glob("cells-*.jsonl")
+        for line in chunk.read_bytes().splitlines()
+        if line.strip()
+    )
+
+
+# --------------------------------------------------------------------- #
+# 1. SIGKILL mid-sweep, then resume
+# --------------------------------------------------------------------- #
+def test_sigkilled_sweep_resumes_bit_identical(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    resumed = tmp_path / "resumed.json"
+    store_dir = tmp_path / "store"
+    suite_args = [
+        "scenarios", "run", "--suite", "smoke", "--workers", "2",
+        "--executor", "shared", "--backend", "sparse",
+    ]
+
+    completed = run_cli([*suite_args, "--output", str(baseline)])
+    assert completed.returncode == 0, completed.stderr
+
+    # Launch the same sweep against a store, slowed enough that the kill
+    # lands mid-flight, in its own process group so workers die too.
+    victim = subprocess.Popen(
+        [sys.executable, "-m", "repro", *suite_args,
+         "--artifact-dir", str(store_dir), "--output", str(tmp_path / "never.json")],
+        cwd=REPO_ROOT,
+        env=cli_env(REPRO_SWEEP_DELAY_MS="500"),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        start_new_session=True,
+    )
+    try:
+        deadline = time.monotonic() + 120
+        while store_record_count(store_dir) < 1:
+            assert victim.poll() is None, "sweep finished before it could be killed"
+            assert time.monotonic() < deadline, "no store records before timeout"
+            time.sleep(0.05)
+        os.killpg(victim.pid, signal.SIGKILL)
+        victim.wait(timeout=30)
+    finally:
+        if victim.poll() is None:
+            os.killpg(victim.pid, signal.SIGKILL)
+            victim.wait(timeout=30)
+
+    partial = store_record_count(store_dir)
+    assert 1 <= partial < 12, f"kill landed outside the sweep ({partial} records)"
+    assert not (tmp_path / "never.json").exists()
+
+    completed = run_cli([*suite_args, "--resume", str(store_dir), "--output", str(resumed)])
+    assert completed.returncode == 0, completed.stderr
+    assert resumed.read_bytes() == baseline.read_bytes()
+    # The resume evaluated only the missing cells on top of the survivors.
+    assert store_record_count(store_dir) == 12
+    # Any segments the killed parent leaked were owned by a dead pid and
+    # swept by the resume; nothing may stay behind afterwards.
+    assert live_segments() == []
+
+
+def test_resume_against_different_suite_is_rejected(tmp_path):
+    store_dir = tmp_path / "store"
+    suite = probe_suite()
+    run_suite(suite, workers=1, artifact_dir=str(store_dir))
+    completed = run_cli(
+        ["scenarios", "run", "--suite", "smoke", "--resume", str(store_dir)]
+    )
+    assert completed.returncode == 2
+    assert "different sweep" in completed.stderr
+
+
+# --------------------------------------------------------------------- #
+# 2. Injected worker exception, then resume
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("executor,workers", [("inline", 1), ("shared", 2)])
+def test_injected_cell_failure_keeps_completed_cells(tmp_path, monkeypatch, executor, workers):
+    suite = probe_suite()
+    store_dir = tmp_path / f"store-{executor}"
+    uninterrupted = run_suite(suite, workers=1)
+
+    monkeypatch.setenv("REPRO_SWEEP_FAIL_CELL", "4")
+    with pytest.raises(RuntimeError, match="injected failure in cell 4"):
+        run_suite(
+            suite, workers=workers, executor=executor, artifact_dir=str(store_dir)
+        )
+    monkeypatch.delenv("REPRO_SWEEP_FAIL_CELL")
+
+    survivors = ArtifactStore.open_existing(str(store_dir))
+    completed_before = survivors.completed_indices()
+    assert completed_before, "the abort must not wipe completed cells"
+    assert 4 not in completed_before
+    survivors.close()
+
+    resumed = run_suite(suite, workers=workers, executor=executor, resume=str(store_dir))
+    assert resumed.to_json() == uninterrupted.to_json()
+    after = ArtifactStore.open_existing(str(store_dir))
+    assert after.is_complete()
+    # The resume only filled the gaps: the surviving records kept their
+    # original payload bytes (spot-check one).
+    assert after.payload(completed_before[0]) == survivors.payload(completed_before[0])
+    after.close()
+
+
+# --------------------------------------------------------------------- #
+# 3. Executor / worker-count / backend equivalence
+# --------------------------------------------------------------------- #
+def test_executor_equivalence_on_probe_suite():
+    suite = probe_suite()
+    reference = run_suite(suite, workers=1).to_json()
+    assert run_suite(suite, workers=4, executor="shared").to_json() == reference
+    assert run_suite(suite, workers=2, executor="rebuild").to_json() == reference
+    assert run_suite(suite, workers=2, executor="shard").to_json() == reference
+    assert live_segments() == []
+
+
+def test_backend_equivalence_across_executors():
+    suite = probe_suite()
+    for backend in ("sparse", "dense"):
+        inline = run_suite(suite, workers=1, backend=backend).to_json()
+        shared = run_suite(suite, workers=2, executor="shared", backend=backend).to_json()
+        assert shared == inline, f"backend {backend!r} diverged under the shared executor"
+    assert live_segments() == []
+
+
+def test_real_world_suite_bit_identical_across_executors(tmp_path):
+    suite = get_suite("real-world").with_overrides(num_snapshots=1)
+    reference = run_suite(suite, workers=1).to_json()
+    shared = run_suite(
+        suite, workers=4, executor="shared", artifact_dir=str(tmp_path / "store")
+    )
+    assert shared.to_json() == reference
+    assert run_suite(suite, workers=2, executor="shard").to_json() == reference
+
+
+def test_odme_suite_bit_identical_across_executors():
+    suite = get_suite("odme").with_overrides(num_snapshots=1)
+    reference = run_suite(suite, workers=1).to_json()
+    assert run_suite(suite, workers=3, executor="shared").to_json() == reference
+    assert (
+        run_suite(suite, workers=2, executor="shared", backend="sparse").to_json()
+        == run_suite(suite, workers=1, backend="sparse").to_json()
+    )
+
+
+def test_streamed_store_and_memory_path_agree(tmp_path):
+    suite = probe_suite()
+    direct = run_suite(suite, workers=1)
+    streamed = run_suite(suite, workers=1, artifact_dir=str(tmp_path / "store"))
+    assert streamed.to_json() == direct.to_json()
+    # Round trip purely from the store: a no-op resume re-assembles the
+    # artifact from disk records without evaluating anything.
+    resumed = run_suite(suite, workers=1, resume=str(tmp_path / "store"))
+    assert resumed.to_json() == direct.to_json()
+
+
+# --------------------------------------------------------------------- #
+# 4. Pool sizing: more workers than topologies are used
+# --------------------------------------------------------------------- #
+def test_more_workers_than_topologies_are_used(tmp_path, monkeypatch):
+    # One topology, nine cells: the legacy shard executor would collapse
+    # this to a single process no matter what; the cell-granular queue
+    # must fan it out.  The delay keeps early workers from draining the
+    # queue before late ones finish spawning.
+    suite = probe_suite(
+        failures=[
+            FailureSpec("none"),
+            FailureSpec("k-edge", params=(("k", 1),)),
+            FailureSpec("k-edge", params=(("k", 2),)),
+        ],
+        demands=[DemandSpec("permutation"), DemandSpec("gravity"), DemandSpec("uniform")],
+    )
+    assert len(suite.topologies) == 1 and suite.num_cells() == 9
+    monkeypatch.setenv("REPRO_SWEEP_DELAY_MS", "400")
+    run_suite(suite, workers=4, executor="shared", artifact_dir=str(tmp_path / "store"))
+    monkeypatch.delenv("REPRO_SWEEP_DELAY_MS")
+    store = ArtifactStore.open_existing(str(tmp_path / "store"))
+    pids = {pid for pid in store.completed_pids().values() if pid is not None}
+    store.close()
+    assert len(pids) > 1, (
+        "a 4-worker sweep over a 1-topology suite ran in a single process; "
+        "the pool is being capped at the topology count again"
+    )
+
+
+def test_stale_segment_cleanup_never_touches_live_owners():
+    # Current process is alive, so a segment named after it must survive
+    # a cleanup sweep; a dead-pid segment must not.
+    from multiprocessing import resource_tracker, shared_memory
+
+    from repro.scenarios.shm import SEGMENT_PREFIX
+
+    live = shared_memory.SharedMemory(
+        create=True, size=64, name=f"{SEGMENT_PREFIX}{os.getpid()}_probe"
+    )
+    try:
+        dead_name = f"{SEGMENT_PREFIX}999999999_probe"
+        dead = shared_memory.SharedMemory(create=True, size=64, name=dead_name)
+        dead.close()
+        removed = cleanup_stale_segments()
+        assert dead_name in removed
+        assert live.name.lstrip("/") in live_segments()
+        # The cleanup unlinked the file out from under this process's
+        # resource tracker; drop the registration so exit stays quiet.
+        resource_tracker.unregister(dead._name, "shared_memory")
+    finally:
+        live.close()
+        live.unlink()
+    assert live.name.lstrip("/") not in live_segments()
