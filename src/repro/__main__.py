@@ -79,6 +79,18 @@ Subcommands
         python -m repro bench net --scale smoke
         python -m repro bench --scale full --output-dir .
 
+``trace``
+    Inspect trace files produced by ``--trace`` (available on ``te``,
+    ``scenarios run``, ``stream run``, ``net fit``, ``net odme``)::
+
+        python -m repro scenarios run --suite smoke --workers 4 --trace run.jsonl
+        python -m repro trace summarize run.jsonl
+        python -m repro trace export run.jsonl --chrome
+
+    ``summarize`` prints the hot-span table (count, self/total time,
+    p50/p95); ``export --chrome`` writes a Chrome/Perfetto trace-event
+    file loadable at ``chrome://tracing`` or https://ui.perfetto.dev.
+
 ``schemes``
     List the registered scheme names and oblivious sampling sources.
 
@@ -124,6 +136,33 @@ _DEFAULT_TE_SCHEMES = [
     "spf",
     "optimal",
 ]
+
+
+import contextlib
+
+
+@contextlib.contextmanager
+def _tracing(path: Optional[str], root: str):
+    """Install a JSONL tracer around one CLI command (no-op when path is None).
+
+    The root span wraps the whole command so the summary's top line is
+    the command itself; worker processes append their spans through the
+    sweep runner's part-file merge before the sink closes.
+    """
+    if not path:
+        yield
+        return
+    from repro.obs import JsonlSink, Tracer, install_tracer, uninstall_tracer
+
+    tracer = Tracer(sink=JsonlSink(path), role="main")
+    install_tracer(tracer)
+    try:
+        with tracer.span(root):
+            yield
+    finally:
+        uninstall_tracer()
+        tracer.close()
+        print(f"wrote trace to {path}", file=sys.stderr)
 
 
 def _cmd_list() -> int:
@@ -217,25 +256,29 @@ def _cmd_te(
     seed: int,
     as_json: bool,
     backend: Optional[str] = None,
+    trace: Optional[str] = None,
 ) -> int:
     from repro.demands.traffic_matrix import diurnal_gravity_series
     from repro.engine import RoutingEngine
     from repro.exceptions import ReproError
 
-    network = _build_te_network(topology, seed)
-    try:
-        series = diurnal_gravity_series(network, num_snapshots=snapshots, rng=seed + 1)
-    except ReproError as error:
-        print(f"bad traffic series: {error}", file=sys.stderr)
-        return 2
-    try:
-        engine = RoutingEngine(network, schemes or _DEFAULT_TE_SCHEMES, rng=seed, backend=backend)
-    except ReproError as error:
-        print(f"bad scheme spec: {error}", file=sys.stderr)
-        return 2
-    start = time.perf_counter()
-    report = engine.evaluate_matrix_series(series)
-    elapsed = time.perf_counter() - start
+    with _tracing(trace, "cli.te"):
+        network = _build_te_network(topology, seed)
+        try:
+            series = diurnal_gravity_series(network, num_snapshots=snapshots, rng=seed + 1)
+        except ReproError as error:
+            print(f"bad traffic series: {error}", file=sys.stderr)
+            return 2
+        try:
+            engine = RoutingEngine(
+                network, schemes or _DEFAULT_TE_SCHEMES, rng=seed, backend=backend
+            )
+        except ReproError as error:
+            print(f"bad scheme spec: {error}", file=sys.stderr)
+            return 2
+        start = time.perf_counter()
+        report = engine.evaluate_matrix_series(series)
+        elapsed = time.perf_counter() - start
     if as_json:
         payload = report.to_dict()
         payload["elapsed_seconds"] = round(elapsed, 3)
@@ -289,6 +332,7 @@ def _cmd_scenarios_run(
     executor: str = "auto",
     artifact_dir: Optional[str] = None,
     resume: Optional[str] = None,
+    trace: Optional[str] = None,
 ) -> int:
     from repro.exceptions import ReproError
     from repro.scenarios import get_suite, run_suite
@@ -303,14 +347,15 @@ def _cmd_scenarios_run(
         return 2
     start = time.perf_counter()
     try:
-        result = run_suite(
-            suite,
-            workers=workers,
-            backend=backend,
-            executor=executor,
-            artifact_dir=artifact_dir,
-            resume=resume,
-        )
+        with _tracing(trace, "cli.scenarios"):
+            result = run_suite(
+                suite,
+                workers=workers,
+                backend=backend,
+                executor=executor,
+                artifact_dir=artifact_dir,
+                resume=resume,
+            )
     except (ReproError, ValueError) as error:
         print(error, file=sys.stderr)
         return 2
@@ -373,29 +418,31 @@ def _cmd_stream_run(
     as_json: bool,
     no_steps: bool,
     output: Optional[str],
+    trace: Optional[str] = None,
 ) -> int:
     from repro.engine import RoutingEngine
     from repro.exceptions import ReproError
     from repro.stream import build_stream
 
-    network = _build_te_network(topology, seed)
-    try:
-        stream = build_stream(stream_kind, network, num_steps=steps, seed=seed + 1)
-        engine = RoutingEngine(network, [scheme], rng=seed)
-        start = time.perf_counter()
-        report = engine.run_stream(
-            stream,
-            policies=policies or ["static"],
-            backend=backend,
-            window=window,
-            threshold=threshold,
-            with_optimal=with_optimal,
-            record_steps=not no_steps,
-        )
-        elapsed = time.perf_counter() - start
-    except ReproError as error:
-        print(f"stream run failed: {error}", file=sys.stderr)
-        return 2
+    with _tracing(trace, "cli.stream"):
+        network = _build_te_network(topology, seed)
+        try:
+            stream = build_stream(stream_kind, network, num_steps=steps, seed=seed + 1)
+            engine = RoutingEngine(network, [scheme], rng=seed)
+            start = time.perf_counter()
+            report = engine.run_stream(
+                stream,
+                policies=policies or ["static"],
+                backend=backend,
+                window=window,
+                threshold=threshold,
+                with_optimal=with_optimal,
+                record_steps=not no_steps,
+            )
+            elapsed = time.perf_counter() - start
+        except ReproError as error:
+            print(f"stream run failed: {error}", file=sys.stderr)
+            return 2
     # The artifact deliberately excludes wall time: seeded runs are
     # bit-identical however often they are replayed.
     artifact = report.to_json(include_steps=not no_steps)
@@ -474,6 +521,9 @@ def _cmd_bench(
                 extras += f" identical={payload['artifacts_identical']}"
             if "leaked_segments" in payload:
                 extras += f" leaked={payload['leaked_segments']}"
+            if "overhead_enabled_pct" in payload:
+                extras += (f" overhead: disabled={payload['overhead_disabled_pct']:+.2f}%"
+                           f" enabled={payload['overhead_enabled_pct']:+.2f}%")
             print(f"{name}: n={payload['network']['n']} m={payload['network']['m']} "
                   f"{timings} speedup={speedup_text}{extras}")
             print(f"  wrote {path}", file=sys.stderr)
@@ -612,28 +662,30 @@ def _cmd_net_fit(
     total: Optional[float],
     as_json: bool,
     output: Optional[str],
+    trace: Optional[str] = None,
 ) -> int:
     from repro.exceptions import NetError
     from repro.net import fitted_gravity_series, load_instance, max_entropy_series
 
     try:
-        # Catalog names and file paths resolve identically: SNDlib
-        # sources keep their bundled demand matrix either way.
-        instance = load_instance(source)
-        network, demands = instance.network, instance.demands
-        resolved_total = total if total is not None else (
-            sum(demands.values()) if demands else 10.0
-        )
-        if model == "gravity":
-            # Catalog entries with a bundled demand matrix are fitted to
-            # its per-node marginals; otherwise capacity weights apply.
-            series = fitted_gravity_series(
-                network, snapshots, total=resolved_total, rng=seed, demands=demands or None
+        with _tracing(trace, "cli.net.fit"):
+            # Catalog names and file paths resolve identically: SNDlib
+            # sources keep their bundled demand matrix either way.
+            instance = load_instance(source)
+            network, demands = instance.network, instance.demands
+            resolved_total = total if total is not None else (
+                sum(demands.values()) if demands else 10.0
             )
-        else:
-            series = max_entropy_series(
-                network, snapshots, total=resolved_total, rng=seed
-            )
+            if model == "gravity":
+                # Catalog entries with a bundled demand matrix are fitted to
+                # its per-node marginals; otherwise capacity weights apply.
+                series = fitted_gravity_series(
+                    network, snapshots, total=resolved_total, rng=seed, demands=demands or None
+                )
+            else:
+                series = max_entropy_series(
+                    network, snapshots, total=resolved_total, rng=seed
+                )
     except NetError as error:
         print(error, file=sys.stderr)
         return 2
@@ -678,29 +730,31 @@ def _cmd_net_odme(
     total: Optional[float],
     as_json: bool,
     output: Optional[str],
+    trace: Optional[str] = None,
 ) -> int:
     from repro.engine import RoutingEngine
     from repro.exceptions import ReproError
     from repro.net import fitted_gravity_series, load_instance
 
     try:
-        instance = load_instance(source)
-        network, demands = instance.network, instance.demands
-        resolved_total = total if total is not None else (
-            sum(demands.values()) if demands else 10.0
-        )
-        series = fitted_gravity_series(
-            network, snapshots, total=resolved_total, rng=seed, demands=demands or None
-        )
-        engine = RoutingEngine(network, [scheme], rng=seed)
-        result = engine.run_odme(
-            series,
-            noise=noise,
-            coverage=coverage,
-            granularity=granularity,
-            method=method,
-            seed=seed,
-        )
+        with _tracing(trace, "cli.net.odme"):
+            instance = load_instance(source)
+            network, demands = instance.network, instance.demands
+            resolved_total = total if total is not None else (
+                sum(demands.values()) if demands else 10.0
+            )
+            series = fitted_gravity_series(
+                network, snapshots, total=resolved_total, rng=seed, demands=demands or None
+            )
+            engine = RoutingEngine(network, [scheme], rng=seed)
+            result = engine.run_odme(
+                series,
+                noise=noise,
+                coverage=coverage,
+                granularity=granularity,
+                method=method,
+                seed=seed,
+            )
     except ReproError as error:
         print(error, file=sys.stderr)
         return 2
@@ -715,6 +769,41 @@ def _cmd_net_odme(
         _emit_net_artifact(json_dumps(payload), output, as_json, "odme")
     else:
         print(result.render())
+    return 0
+
+
+def _cmd_trace_summarize(path: str, limit: int) -> int:
+    from repro.exceptions import ObsError
+    from repro.obs import load_trace, render_summary, summarize_trace
+
+    try:
+        records = load_trace(path)
+        rows = summarize_trace(records)
+    except ObsError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if not rows:
+        print(f"{path}: no spans recorded", file=sys.stderr)
+        return 0
+    print(render_summary(rows, limit=limit))
+    return 0
+
+
+def _cmd_trace_export(path: str, output: Optional[str]) -> int:
+    from repro.exceptions import ObsError
+    from repro.obs import load_trace, write_chrome_trace
+
+    try:
+        records = load_trace(path)
+    except ObsError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if output is None:
+        stem = path[:-6] if path.endswith(".jsonl") else path
+        output = stem + ".chrome.json"
+    write_chrome_trace(records, output)
+    print(f"wrote Chrome trace-event file to {output} "
+          "(load at chrome://tracing or https://ui.perfetto.dev)", file=sys.stderr)
     return 0
 
 
@@ -759,6 +848,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     te_parser.add_argument("--backend", choices=BACKEND_CHOICES, default=None,
                            help="evaluation backend for fixed-ratio schemes (default: per-scheme)")
+    te_parser.add_argument("--trace", default=None, metavar="PATH",
+                           help="write a span trace (JSONL) of the run to this path")
 
     scenario_parser = subparsers.add_parser(
         "scenarios", help="failure x demand x topology sweeps through the engine"
@@ -794,6 +885,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_parser.add_argument("--resume", default=None,
                             help="resume from the store at this directory, "
                                  "skipping completed cells")
+    run_parser.add_argument("--trace", default=None, metavar="PATH",
+                            help="write a span trace (JSONL) of the sweep to this path; "
+                                 "worker spans are merged into the one file")
 
     stream_parser = subparsers.add_parser(
         "stream", help="streaming traffic replay with online rerouting policies"
@@ -828,6 +922,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                             help="omit per-step records from the artifact (summaries only)")
     stream_run.add_argument("--output", default=None,
                             help="also write the JSON artifact to this path")
+    stream_run.add_argument("--trace", default=None, metavar="PATH",
+                            help="write a span trace (JSONL) of the replay to this path")
 
     net_parser = subparsers.add_parser(
         "net", help="real-network ingestion: topology catalog, conversion, demand fitting"
@@ -865,6 +961,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="print the artifact (default when no --output)")
     net_fit.add_argument("--output", default=None,
                          help="write the JSON artifact to this path")
+    net_fit.add_argument("--trace", default=None, metavar="PATH",
+                         help="write a span trace (JSONL) of the fit to this path")
     net_odme = net_sub.add_parser(
         "odme", help="closed-loop demand estimation from observed link loads"
     )
@@ -889,6 +987,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                           help="print the artifact (default prints the table)")
     net_odme.add_argument("--output", default=None,
                           help="write the JSON artifact to this path")
+    net_odme.add_argument("--trace", default=None, metavar="PATH",
+                          help="write a span trace (JSONL) of the loop to this path")
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="summarize or export span traces written by --trace"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    trace_summarize = trace_sub.add_parser(
+        "summarize", help="print the hot-span table for a trace file"
+    )
+    trace_summarize.add_argument("path", help="trace file written by --trace")
+    trace_summarize.add_argument("--limit", type=int, default=30,
+                                 help="max span names to print (default 30)")
+    trace_export = trace_sub.add_parser(
+        "export", help="convert a trace to another format"
+    )
+    trace_export.add_argument("path", help="trace file written by --trace")
+    trace_export.add_argument("--chrome", action="store_true", required=True,
+                              help="emit the Chrome trace-event format (the only format)")
+    trace_export.add_argument("--output", default=None,
+                              help="output path (default: <trace>.chrome.json)")
 
     bench_parser = subparsers.add_parser(
         "bench", help="run benchmark targets and write BENCH_<name>.json artifacts"
@@ -915,7 +1034,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiments(args.ids, args.scale, args.seed, as_json=args.json)
     if args.command == "te":
         return _cmd_te(args.topology, args.schemes, args.snapshots, args.seed,
-                       as_json=args.json, backend=args.backend)
+                       as_json=args.json, backend=args.backend, trace=args.trace)
     if args.command == "scenarios":
         if args.scenario_command == "list":
             return _cmd_scenarios_list()
@@ -925,7 +1044,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_scenarios_run(
                 args.suite, args.workers, args.seed, args.snapshots, args.json, args.output,
                 backend=args.backend, executor=args.executor,
-                artifact_dir=args.artifact_dir, resume=args.resume,
+                artifact_dir=args.artifact_dir, resume=args.resume, trace=args.trace,
             )
         return 2
     if args.command == "stream":
@@ -937,7 +1056,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_stream_run(
                 args.topology, args.stream_kind, args.steps, args.policies, args.scheme,
                 args.seed, args.window, args.threshold, args.backend, args.optimal,
-                args.json, args.no_steps, args.output,
+                args.json, args.no_steps, args.output, trace=args.trace,
             )
         return 2
     if args.command == "net":
@@ -950,14 +1069,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.net_command == "fit":
             return _cmd_net_fit(
                 args.source, args.model, args.snapshots, args.seed, args.total,
-                as_json=args.json, output=args.output,
+                as_json=args.json, output=args.output, trace=args.trace,
             )
         if args.net_command == "odme":
             return _cmd_net_odme(
                 args.source, args.scheme, args.snapshots, args.seed, args.noise,
                 args.coverage, args.granularity, args.method, args.total,
-                as_json=args.json, output=args.output,
+                as_json=args.json, output=args.output, trace=args.trace,
             )
+        return 2
+    if args.command == "trace":
+        if args.trace_command == "summarize":
+            return _cmd_trace_summarize(args.path, args.limit)
+        if args.trace_command == "export":
+            return _cmd_trace_export(args.path, args.output)
         return 2
     if args.command == "bench":
         if args.names == ["list"]:

@@ -26,6 +26,7 @@ from repro.demands.demand import Demand
 from repro.demands.traffic_matrix import TrafficMatrixSeries
 from repro.graphs.cuts import CutCache
 from repro.graphs.network import Network
+from repro.obs import trace_span
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.serialization import dumps as _json_dumps
 
@@ -228,11 +229,15 @@ class RoutingEngine:
         self._pairs = (
             list(self._network.vertex_pairs(ordered=True)) if pairs is None else list(pairs)
         )
-        for builder in self._context.sources.values():
-            if not hasattr(builder, "sample_path"):  # samplers bypass the cache
-                builder.prewarm(self._pairs)
-        for router in self._routers.values():
-            router.install(self._pairs)
+        with trace_span("engine.install", schemes=len(self._routers)) as span:
+            span.add("pairs", len(self._pairs))
+            for builder in self._context.sources.values():
+                if not hasattr(builder, "sample_path"):  # samplers bypass the cache
+                    with trace_span("source.prewarm", source=type(builder).__name__):
+                        builder.prewarm(self._pairs)
+            for label, router in self._routers.items():
+                with trace_span("engine.install_scheme", scheme=label):
+                    router.install(self._pairs)
         self._installed = True
 
     @property
@@ -269,14 +274,15 @@ class RoutingEngine:
         """
         self._ensure_installed()
         chosen = self.labels() if labels is None else list(labels)
-        optimum = self._context.optimal_solver(demand) if with_optimal else None
-        results: Dict[str, RouteResult] = {}
-        for label in chosen:
-            result = self[label].route(demand)
-            if result.optimal_congestion is None:
-                result.optimal_congestion = optimum
-            results[label] = result
-        return results
+        with trace_span("engine.route", schemes=len(chosen)):
+            optimum = self._context.optimal_solver(demand) if with_optimal else None
+            results: Dict[str, RouteResult] = {}
+            for label in chosen:
+                result = self[label].route(demand)
+                if result.optimal_congestion is None:
+                    result.optimal_congestion = optimum
+                results[label] = result
+            return results
 
     def route_many(
         self,
@@ -304,14 +310,16 @@ class RoutingEngine:
         for label in chosen:
             _ = self[label]  # validate before running anything
             report.results[label] = SchemeResult(scheme=label)
-        for snapshot in series:
-            if snapshot.is_empty():
-                continue
-            results = self.route(snapshot, labels=chosen)
-            for label in chosen:
-                result = results[label]
-                report.results[label].utilization_ratios.append(result.ratio)
-                report.results[label].max_utilizations.append(result.congestion)
+        with trace_span("engine.evaluate_series", schemes=len(chosen)) as span:
+            for snapshot in series:
+                if snapshot.is_empty():
+                    continue
+                span.add("snapshots", 1)
+                results = self.route(snapshot, labels=chosen)
+                for label in chosen:
+                    result = results[label]
+                    report.results[label].utilization_ratios.append(result.ratio)
+                    report.results[label].max_utilizations.append(result.congestion)
         return report
 
     # ------------------------------------------------------------------ #

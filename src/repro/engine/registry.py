@@ -31,6 +31,7 @@ from repro.exceptions import RoutingError
 from repro.graphs.cuts import CutCache
 from repro.graphs.network import Network
 from repro.mcf.lp import min_congestion_lp
+from repro.obs import trace_span
 from repro.oblivious.base import ObliviousRoutingBuilder
 from repro.oblivious.electrical import ElectricalFlowRouting
 from repro.oblivious.hop_constrained import HopConstrainedRouting
@@ -72,7 +73,8 @@ class MemoizedOptimalSolver:
     def __call__(self, demand: Demand) -> float:
         if demand not in self._cache:
             self.num_solves += 1
-            self._cache[demand] = min_congestion_lp(self._network, demand).congestion
+            with trace_span("mcf.optimal_solve"):
+                self._cache[demand] = min_congestion_lp(self._network, demand).congestion
         return self._cache[demand]
 
     def prime(self, demand: Demand, congestion: float) -> None:
@@ -194,7 +196,8 @@ def build_oblivious_source(
     if wants_rng:
         kwargs["rng"] = rng
     try:
-        builder = factory(network, **kwargs)
+        with trace_span("source.build", source=canonical):
+            builder = factory(network, **kwargs)
     except TypeError as error:
         raise SchemeError(f"bad parameters for source {source!r}: {error}") from error
     if context is not None:
@@ -453,7 +456,8 @@ def build_router(
     if entry.wants_context:
         kwargs["context"] = context
     try:
-        return entry.factory(network, rng=rng, **kwargs)
+        with trace_span("scheme.build", scheme=parsed.name):
+            return entry.factory(network, rng=rng, **kwargs)
     except TypeError as error:
         raise SchemeError(f"bad parameters for scheme {parsed.name!r}: {error}") from error
 

@@ -92,6 +92,18 @@ class TelemetryError(ReproError):
     """
 
 
+class ObsError(ReproError):
+    """Raised when the observability / tracing subsystem is misused.
+
+    Examples include installing a second process-global tracer without
+    uninstalling the first, loading a trace file that is not
+    line-delimited JSON span records, and exporting a trace to an
+    unsupported format.  (A crash-truncated final line in a streamed
+    trace is *not* an error: workers flush one record per line, so the
+    loader drops an unparsable final line by design.)
+    """
+
+
 class ArtifactError(ReproError):
     """Raised when an on-disk sweep artifact store is inconsistent.
 

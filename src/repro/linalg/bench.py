@@ -48,7 +48,7 @@ from repro.linalg.evaluator import DictEvaluator, SparseEvaluator, build_evaluat
 from repro.te.failures import KEdgeFailureProcess
 from repro.utils.rng import ensure_rng
 from repro.utils.serialization import dumps as json_dumps
-from repro.utils.timing import Stopwatch
+from repro.utils.timing import Stopwatch, timing_entry
 
 BENCH_SCHEMA = "repro-bench/v1"
 
@@ -139,14 +139,16 @@ def bench_linalg(scale: str = "small", seed: int = 0) -> Dict[str, Any]:
         "backends": {
             "dict": {
                 "backend": "dict",
-                "seconds": dict_seconds,
-                "demands_per_sec": len(demands) / dict_seconds if dict_seconds > 0 else None,
+                **timing_entry(dict_seconds, count=len(demands), rate_key="demands_per_sec"),
             },
             "sparse": {
                 "backend": sparse_evaluator.backend,
-                "seconds": sparse_seconds,
-                "demands_per_sec": len(demands) / sparse_seconds if sparse_seconds > 0 else None,
-                "compile_seconds": compile_seconds,
+                **timing_entry(
+                    sparse_seconds,
+                    count=len(demands),
+                    rate_key="demands_per_sec",
+                    compile_seconds=compile_seconds,
+                ),
             },
         },
         "speedup_sparse_over_dict": dict_seconds / sparse_seconds if sparse_seconds > 0 else None,
@@ -238,13 +240,11 @@ def bench_rebase(scale: str = "small", seed: int = 0) -> Dict[str, Any]:
         "backends": {
             "dict": {
                 "backend": "dict",
-                "seconds": dict_seconds,
-                "demands_per_sec": evaluations / dict_seconds if dict_seconds > 0 else None,
+                **timing_entry(dict_seconds, count=evaluations, rate_key="demands_per_sec"),
             },
             "sparse": {
                 "backend": sparse_evaluator.backend,
-                "seconds": sparse_seconds,
-                "demands_per_sec": evaluations / sparse_seconds if sparse_seconds > 0 else None,
+                **timing_entry(sparse_seconds, count=evaluations, rate_key="demands_per_sec"),
             },
         },
         "speedup_sparse_over_dict": dict_seconds / sparse_seconds if sparse_seconds > 0 else None,
@@ -270,6 +270,7 @@ _EXTERNAL_BENCH_MODULES = (
     "repro.net.bench",
     "repro.telemetry.bench",
     "repro.scenarios.bench",
+    "repro.obs.bench",
 )
 
 

@@ -35,6 +35,7 @@ import numpy as np
 from repro.exceptions import GraphError, LinalgError, RoutingError
 from repro.graphs.network import Edge, Network, Path, Vertex, path_edges
 from repro.linalg._matrix import build_matrix, resolve_representation, to_dense
+from repro.obs import trace_span
 
 Pair = Tuple[Vertex, Vertex]
 
@@ -119,6 +120,11 @@ class CompiledRouting:
         """
         representation = resolve_representation(representation)
         network: Network = routing.network
+        with trace_span("linalg.compile", representation=representation) as span:
+            return cls._compile(routing, network, representation, span)
+
+    @classmethod
+    def _compile(cls, routing, network, representation: str, span) -> "CompiledRouting":
         pairs: Tuple[Pair, ...] = tuple(sorted(routing.pairs(), key=repr))
         num_pairs = len(pairs)
         num_edges = network.num_edges
@@ -146,6 +152,9 @@ class CompiledRouting:
         path_prob_arr = np.asarray(path_prob, dtype=float)
         inc_rows_arr = np.asarray(inc_rows, dtype=np.int64)
         inc_cols_arr = np.asarray(inc_cols, dtype=np.int64)
+        span.add("pairs", num_pairs)
+        span.add("paths", len(path_pair))
+        span.add("nnz", len(inc_rows))
 
         # Build M = D @ A directly from the incidence triplets: entry
         # (pair_of_path, edge) accumulates the path's probability.  This
@@ -499,6 +508,14 @@ class CompiledRouting:
             self._rebase_cache.move_to_end(event)
             return cached
 
+        with trace_span("linalg.rebase", failed=len(event.failed_edges)):
+            rebased = self._rebase(event)
+        self._rebase_cache[event] = rebased
+        while len(self._rebase_cache) > _REBASE_CACHE_SIZE[self._representation]:
+            self._rebase_cache.popitem(last=False)
+        return rebased
+
+    def _rebase(self, event) -> "CompiledRouting":
         failed_indices: List[int] = []
         failed_set = set()
         for u, v in event.failed_edges:
@@ -558,7 +575,7 @@ class CompiledRouting:
                 continue
             capacities[index] *= scale
 
-        rebased = CompiledRouting(
+        return CompiledRouting(
             network=self._network,
             pairs=self._pairs,
             capacities=capacities,
@@ -573,10 +590,6 @@ class CompiledRouting:
             representation=self._representation,
             incidence_holder=self._incidence_holder,
         )
-        self._rebase_cache[event] = rebased
-        while len(self._rebase_cache) > _REBASE_CACHE_SIZE[self._representation]:
-            self._rebase_cache.popitem(last=False)
-        return rebased
 
     def __repr__(self) -> str:
         return (

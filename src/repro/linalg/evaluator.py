@@ -45,6 +45,7 @@ import numpy as np
 from repro.exceptions import LinalgError
 from repro.graphs.network import Edge, path_edges
 from repro.linalg.compiled import CompiledRouting
+from repro.obs import trace_span
 
 #: Backend names accepted by :func:`build_evaluator`.
 BACKENDS = ("dict", "sparse", "dense")
@@ -173,7 +174,11 @@ class DictEvaluator:
         return matrix
 
     def congestions(self, demands: Sequence) -> np.ndarray:
-        return np.array([self._evaluate(demand).congestion for demand in demands], dtype=float)
+        with trace_span("linalg.batched_evaluate", backend=self.backend) as span:
+            span.add("demands", len(demands))
+            return np.array(
+                [self._evaluate(demand).congestion for demand in demands], dtype=float
+            )
 
     def clear_cache(self) -> None:
         self._cache.clear()
@@ -244,7 +249,9 @@ class SparseEvaluator:
 
     def congestions(self, demands: Sequence) -> np.ndarray:
         self._check_fresh()
-        return self._compiled.congestions(demands)
+        with trace_span("linalg.batched_evaluate", backend=self.backend) as span:
+            span.add("demands", len(demands))
+            return self._compiled.congestions(demands)
 
     def demand_matrix(self, demands: Sequence):
         """(batch × pair) matrix reusable across this evaluator's rebases."""

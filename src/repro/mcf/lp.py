@@ -33,6 +33,7 @@ from repro.demands.demand import Demand
 from repro.exceptions import InfeasibleError, SolverError
 from repro.graphs.network import Network, Vertex
 from repro.oblivious.electrical import decompose_flow
+from repro.obs import trace_span
 
 
 @dataclass
@@ -95,10 +96,61 @@ def min_congestion_lp(
     def var(commodity: int, arc: int) -> int:
         return commodity * num_arcs + arc
 
-    # Objective: minimize z.
-    cost = np.zeros(num_vars)
-    cost[z_index] = 1.0
+    with trace_span("mcf.lp") as span:
+        span.add("columns", num_vars)
+        span.add("commodities", k)
 
+        # Objective: minimize z.
+        cost = np.zeros(num_vars)
+        cost[z_index] = 1.0
+
+        with trace_span("mcf.lp_setup"):
+            a_eq, eq_rhs, a_ub, b_ub = _build_constraints(
+                network, commodities, arcs, n, m, k, num_vars, z_index, var
+            )
+
+        bounds = [(0, None)] * num_vars
+        with trace_span("mcf.lp_solve"):
+            result = linprog(
+                cost,
+                A_ub=a_ub,
+                b_ub=b_ub,
+                A_eq=a_eq,
+                b_eq=eq_rhs,
+                bounds=bounds,
+                method="highs",
+            )
+    if result.status == 2:
+        raise InfeasibleError("min-congestion LP is infeasible (disconnected demand?)")
+    if not result.success:
+        raise SolverError(f"min-congestion LP failed: {result.message}")
+
+    solution = result.x
+    congestion = float(solution[z_index])
+
+    # Per-edge congestion of the optimal flow.
+    edge_congestions: Dict[Tuple[Vertex, Vertex], float] = {}
+    for edge_index, (u, v) in enumerate(edges):
+        load = 0.0
+        for commodity_index in range(k):
+            load += solution[var(commodity_index, 2 * edge_index)]
+            load += solution[var(commodity_index, 2 * edge_index + 1)]
+        edge_congestions[(u, v)] = load / network.capacity(u, v)
+
+    routing = None
+    if return_routing:
+        routing = _decompose_to_routing(network, commodities, arcs, solution, var)
+
+    return MinCongestionResult(
+        congestion=congestion,
+        routing=routing,
+        edge_congestions=edge_congestions,
+    )
+
+
+def _build_constraints(network, commodities, arcs, n, m, k, num_vars, z_index, var):
+    """Sparse flow-conservation (eq) and capacity-coupling (ub) systems."""
+    edges = network.edges
     # Equality constraints: flow conservation per commodity per vertex.
     eq_rows: List[int] = []
     eq_cols: List[int] = []
@@ -141,43 +193,7 @@ def min_congestion_lp(
         ub_vals.append(-capacity)
     a_ub = sparse.coo_matrix((ub_vals, (ub_rows, ub_cols)), shape=(m, num_vars)).tocsr()
     b_ub = np.zeros(m)
-
-    bounds = [(0, None)] * num_vars
-    result = linprog(
-        cost,
-        A_ub=a_ub,
-        b_ub=b_ub,
-        A_eq=a_eq,
-        b_eq=eq_rhs,
-        bounds=bounds,
-        method="highs",
-    )
-    if result.status == 2:
-        raise InfeasibleError("min-congestion LP is infeasible (disconnected demand?)")
-    if not result.success:
-        raise SolverError(f"min-congestion LP failed: {result.message}")
-
-    solution = result.x
-    congestion = float(solution[z_index])
-
-    # Per-edge congestion of the optimal flow.
-    edge_congestions: Dict[Tuple[Vertex, Vertex], float] = {}
-    for edge_index, (u, v) in enumerate(edges):
-        load = 0.0
-        for commodity_index in range(k):
-            load += solution[var(commodity_index, 2 * edge_index)]
-            load += solution[var(commodity_index, 2 * edge_index + 1)]
-        edge_congestions[(u, v)] = load / network.capacity(u, v)
-
-    routing = None
-    if return_routing:
-        routing = _decompose_to_routing(network, commodities, arcs, solution, var)
-
-    return MinCongestionResult(
-        congestion=congestion,
-        routing=routing,
-        edge_congestions=edge_congestions,
-    )
+    return a_eq, eq_rhs, a_ub, b_ub
 
 
 def _decompose_to_routing(

@@ -25,7 +25,7 @@ from repro.linalg.bench import BENCH_SCHEMA, environment_info, register_bench
 from repro.linalg.evaluator import DictEvaluator, build_evaluator
 from repro.net.catalog import catalog_entries, load_catalog_topology
 from repro.net.fitting import fitted_gravity_series
-from repro.utils.timing import Stopwatch
+from repro.utils.timing import Stopwatch, timing_entry
 
 #: Demand matrices evaluated per topology, per scale.
 _NET_SCALES: Dict[str, int] = {"smoke": 20, "small": 100, "full": 400}
@@ -118,14 +118,16 @@ def bench_net(scale: str = "small", seed: int = 0) -> Dict[str, Any]:
         "backends": {
             "dict": {
                 "backend": "dict",
-                "seconds": dict_total,
-                "demands_per_sec": evaluations / dict_total if dict_total > 0 else None,
+                **timing_entry(dict_total, count=evaluations, rate_key="demands_per_sec"),
             },
             "sparse": {
                 "backend": resolved_backend,
-                "seconds": sparse_total,
-                "demands_per_sec": evaluations / sparse_total if sparse_total > 0 else None,
-                "compile_seconds": compile_total,
+                **timing_entry(
+                    sparse_total,
+                    count=evaluations,
+                    rate_key="demands_per_sec",
+                    compile_seconds=compile_total,
+                ),
             },
         },
         "speedup_sparse_over_dict": dict_total / sparse_total if sparse_total > 0 else None,

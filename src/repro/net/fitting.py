@@ -36,6 +36,7 @@ from repro.demands.demand import Demand, Pair
 from repro.demands.traffic_matrix import TrafficMatrixSeries
 from repro.exceptions import DemandError, NetError
 from repro.graphs.network import Network, Vertex, edge_key
+from repro.obs import trace_span
 from repro.utils.rng import RngLike, ensure_rng
 
 #: No node may claim more than this share of the total volume: keeps the
@@ -221,20 +222,23 @@ def fitted_gravity_series(
         base_in = dict(base_out)
     vertices = network.vertices
     snapshots = []
-    for _ in range(num_snapshots):
-        factors = np.exp(jitter * generator.normal(size=len(vertices)))
-        out_weights = {
-            vertex: base_out[vertex] * float(factor)
-            for vertex, factor in zip(vertices, factors)
-        }
-        in_factors = np.exp(jitter * generator.normal(size=len(vertices)))
-        in_weights = {
-            vertex: base_in[vertex] * float(factor)
-            for vertex, factor in zip(vertices, in_factors)
-        }
-        snapshots.append(
-            fit_gravity(network, total=total, out_weights=out_weights, in_weights=in_weights)
-        )
+    with trace_span("net.fit", model="gravity", snapshots=num_snapshots):
+        for _ in range(num_snapshots):
+            factors = np.exp(jitter * generator.normal(size=len(vertices)))
+            out_weights = {
+                vertex: base_out[vertex] * float(factor)
+                for vertex, factor in zip(vertices, factors)
+            }
+            in_factors = np.exp(jitter * generator.normal(size=len(vertices)))
+            in_weights = {
+                vertex: base_in[vertex] * float(factor)
+                for vertex, factor in zip(vertices, in_factors)
+            }
+            snapshots.append(
+                fit_gravity(
+                    network, total=total, out_weights=out_weights, in_weights=in_weights
+                )
+            )
     return TrafficMatrixSeries(snapshots=snapshots)
 
 
@@ -466,22 +470,23 @@ def max_entropy_series(
     base = marginals_from_link_loads(network, loads)
     vertices = network.vertices
     snapshots = []
-    for _ in range(num_snapshots):
-        out_factors = np.exp(jitter * generator.normal(size=len(vertices)))
-        in_factors = np.exp(jitter * generator.normal(size=len(vertices)))
-        out_marginals = {
-            vertex: base[vertex] * float(factor)
-            for vertex, factor in zip(vertices, out_factors)
-        }
-        in_marginals = {
-            vertex: base[vertex] * float(factor)
-            for vertex, factor in zip(vertices, in_factors)
-        }
-        snapshots.append(
-            max_entropy_demand(
-                network, out_marginals, in_marginals, total=total
+    with trace_span("net.fit", model="max-entropy", snapshots=num_snapshots):
+        for _ in range(num_snapshots):
+            out_factors = np.exp(jitter * generator.normal(size=len(vertices)))
+            in_factors = np.exp(jitter * generator.normal(size=len(vertices)))
+            out_marginals = {
+                vertex: base[vertex] * float(factor)
+                for vertex, factor in zip(vertices, out_factors)
+            }
+            in_marginals = {
+                vertex: base[vertex] * float(factor)
+                for vertex, factor in zip(vertices, in_factors)
+            }
+            snapshots.append(
+                max_entropy_demand(
+                    network, out_marginals, in_marginals, total=total
+                )
             )
-        )
     return TrafficMatrixSeries(snapshots=snapshots)
 
 

@@ -35,6 +35,7 @@ from repro.exceptions import TopologyFormatError
 from repro.graphs.network import Network
 from repro.net._common import local_name as _local_name
 from repro.net._common import parse_xml_root, read_topology_file
+from repro.obs import trace_span
 from repro.net.inference import CapacityRules, parse_float
 
 #: Multipliers for ``LinkSpeedUnits`` annotations (bit/s).
@@ -175,12 +176,13 @@ def load_graphml(
 ) -> Network:
     """Read and parse a GraphML file (name defaults to the file stem)."""
     text, file_path = read_topology_file(path)
-    return parse_graphml(
-        text,
-        name=name or file_path.stem,
-        rules=rules,
-        source=file_path.name,
-    )
+    with trace_span("net.parse", format="graphml", file=file_path.name):
+        return parse_graphml(
+            text,
+            name=name or file_path.stem,
+            rules=rules,
+            source=file_path.name,
+        )
 
 
 __all__ = ["parse_graphml", "load_graphml"]

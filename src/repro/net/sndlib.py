@@ -38,6 +38,7 @@ from repro.exceptions import TopologyFormatError
 from repro.graphs.network import Network
 from repro.net._common import local_name as _local_name
 from repro.net._common import parse_xml_root, read_topology_file
+from repro.obs import trace_span
 from repro.net.inference import CapacityRules, parse_float
 
 Pair = Tuple[str, str]
@@ -348,9 +349,10 @@ def load_sndlib(
 ) -> SndlibInstance:
     """Read and parse an SNDlib file (name defaults to the file stem)."""
     text, file_path = read_topology_file(path)
-    return parse_sndlib(
-        text, name=name or file_path.stem, rules=rules, source=file_path.name
-    )
+    with trace_span("net.parse", format="sndlib", file=file_path.name):
+        return parse_sndlib(
+            text, name=name or file_path.stem, rules=rules, source=file_path.name
+        )
 
 
 __all__ = [

@@ -1,0 +1,67 @@
+"""Observability layer: structured tracing and metrics (zero-dependency).
+
+``repro.obs`` gives every subsystem one way to answer "where does the
+time (and peak memory) actually go": context-manager spans with
+attributes and counters, a process-global tracer whose disabled path
+costs a single global read, streaming JSONL sinks that survive killed
+sweep workers, cross-process trace merging, a hot-span summary table
+and a Chrome trace-event exporter.
+
+Quick start::
+
+    from repro.obs import JsonlSink, Tracer, install_tracer, uninstall_tracer
+
+    tracer = install_tracer(Tracer(sink=JsonlSink("run.jsonl")))
+    try:
+        run_workload()          # instrumented code emits spans
+    finally:
+        uninstall_tracer()
+        tracer.close()
+
+or, from the CLI, pass ``--trace run.jsonl`` to ``repro te``,
+``repro scenarios run``, ``repro stream run`` or ``repro net fit/odme``
+and inspect with ``repro trace summarize run.jsonl``.
+
+The instrumentation overhead of this layer is itself benchmarked and
+regression-gated: see ``repro bench obs`` and ``BENCH_obs.json``.
+"""
+
+from .chrome import chrome_trace_events, export_chrome_trace, write_chrome_trace
+from .sinks import JsonlSink, RecordingSink, load_trace, merge_trace_parts
+from .summary import normalized_tree, render_summary, span_records, summarize_trace
+from .tracer import (
+    NO_OP_SPAN,
+    TRACE_SCHEMA,
+    Span,
+    Tracer,
+    active_tracer,
+    add_counter,
+    install_tracer,
+    trace_span,
+    tracing_enabled,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "NO_OP_SPAN",
+    "TRACE_SCHEMA",
+    "JsonlSink",
+    "RecordingSink",
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "add_counter",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "install_tracer",
+    "load_trace",
+    "merge_trace_parts",
+    "normalized_tree",
+    "render_summary",
+    "span_records",
+    "summarize_trace",
+    "trace_span",
+    "tracing_enabled",
+    "uninstall_tracer",
+    "write_chrome_trace",
+]

@@ -1,0 +1,95 @@
+"""Chrome trace-event exporter.
+
+Converts ``repro-trace/v1`` records into the Chrome trace-event JSON
+format understood by ``chrome://tracing`` and https://ui.perfetto.dev:
+one ``ph="X"`` (complete) event per span with microsecond timestamps,
+plus ``ph="M"`` metadata events naming each process after its recorded
+role.
+
+Cross-process alignment: span ``t0`` offsets are relative to each
+process's own monotonic epoch, so the exporter shifts every process
+onto a common timeline using the wall-clock ``epoch`` carried by the
+``kind="process"`` meta records (sub-millisecond wall-clock skew
+between a sweep parent and its forked workers is irrelevant at trace
+granularity).  Thread idents are remapped to small per-process tids.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .tracer import TRACE_SCHEMA
+
+
+def chrome_trace_events(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Build the ``traceEvents`` list for a set of trace records."""
+    epochs: Dict[int, float] = {}
+    roles: Dict[int, str] = {}
+    for record in records:
+        if record.get("kind") == "process":
+            pid = int(record["pid"])
+            epochs[pid] = float(record.get("epoch", 0.0))
+            roles[pid] = str(record.get("role", "process"))
+    base_epoch = min(epochs.values()) if epochs else 0.0
+
+    events: List[Dict[str, Any]] = []
+    for pid in sorted(epochs):
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"{roles[pid]} (pid {pid})"},
+            }
+        )
+
+    tid_maps: Dict[int, Dict[int, int]] = {}
+    for record in records:
+        if record.get("kind") != "span":
+            continue
+        pid = int(record.get("pid", 0))
+        raw_tid = int(record.get("tid", 0))
+        tid_map = tid_maps.setdefault(pid, {})
+        tid = tid_map.setdefault(raw_tid, len(tid_map))
+        shift = epochs.get(pid, base_epoch) - base_epoch
+        args: Dict[str, Any] = {}
+        args.update(record.get("attrs") or {})
+        args.update(record.get("counters") or {})
+        if "mem_peak_kb" in record:
+            args["mem_peak_kb"] = record["mem_peak_kb"]
+        event: Dict[str, Any] = {
+            "ph": "X",
+            "name": str(record.get("name", "?")),
+            "cat": "repro",
+            "pid": pid,
+            "tid": tid,
+            "ts": (shift + float(record.get("t0", 0.0))) * 1e6,
+            "dur": float(record.get("dur", 0.0)) * 1e6,
+        }
+        if args:
+            event["args"] = args
+        events.append(event)
+    return events
+
+
+def export_chrome_trace(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Full Chrome trace document (object form, Perfetto-loadable)."""
+    return {
+        "traceEvents": chrome_trace_events(records),
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": TRACE_SCHEMA},
+    }
+
+
+def write_chrome_trace(records: List[Dict[str, Any]], path: str) -> str:
+    """Serialize :func:`export_chrome_trace` to ``path``; returns ``path``."""
+    document = export_chrome_trace(records)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, default=str)
+        handle.write("\n")
+    return str(path)
+
+
+__all__ = ["chrome_trace_events", "export_chrome_trace", "write_chrome_trace"]

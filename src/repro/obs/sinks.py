@@ -1,0 +1,118 @@
+"""Trace sinks: where finished span records go.
+
+Sinks receive plain dict records (see :mod:`repro.obs.tracer` for the
+``repro-trace/v1`` record shapes) and need only two methods: ``emit``
+and ``close``.  Two implementations cover every use in the repository:
+
+* :class:`RecordingSink` keeps records in a list — tests, benches and
+  the summary CLI use it.
+* :class:`JsonlSink` streams one JSON line per record and flushes after
+  each write, so a SIGKILLed worker loses at most its open spans (the
+  loader tolerates a truncated final line for exactly this reason).
+
+The module also hosts the loader (:func:`load_trace`) and the
+cross-process merge helper (:func:`merge_trace_parts`) used by the
+sweep runner to fold per-worker part files into the parent's trace.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List
+
+from repro.exceptions import ObsError
+
+
+class RecordingSink:
+    """Keeps every emitted record in memory (``.records``)."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Streams records to a file, one JSON object per line.
+
+    Every record is flushed immediately: traces written by sweep
+    workers must survive the worker being killed mid-cell.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._handle = open(self.path, "w", encoding="utf-8")
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(record, separators=(",", ":"), default=str))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Read a JSONL trace file back into a list of records.
+
+    A truncated *final* line (the signature of a killed writer) is
+    dropped silently; malformed JSON anywhere else raises
+    :class:`~repro.exceptions.ObsError`.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as error:
+        raise ObsError(f"cannot read trace file {path!r}: {error}") from error
+    records: List[Dict[str, Any]] = []
+    last_index = len(lines) - 1
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            if index == last_index:
+                break  # crash-truncated final line
+            raise ObsError(f"{path}:{index + 1}: malformed trace record: {error}") from error
+        if not isinstance(record, dict):
+            raise ObsError(f"{path}:{index + 1}: trace record is not an object")
+        records.append(record)
+    return records
+
+
+def merge_trace_parts(tracer, directory: str, remove: bool = True) -> int:
+    """Adopt every ``*.jsonl`` part file under ``directory`` into ``tracer``.
+
+    Part files are read in sorted (filename) order so merged traces are
+    reproducible for a fixed set of worker pids.  Returns the number of
+    records adopted.  When ``remove`` is true, successfully merged part
+    files (and the directory, if emptied) are deleted.
+    """
+    if not os.path.isdir(directory):
+        return 0
+    merged = 0
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".jsonl"):
+            continue
+        part_path = os.path.join(directory, name)
+        for record in load_trace(part_path):
+            tracer.adopt(record)
+            merged += 1
+        if remove:
+            os.unlink(part_path)
+    if remove:
+        try:
+            os.rmdir(directory)
+        except OSError:
+            pass  # non-part files remain; leave the directory alone
+    return merged
+
+
+__all__ = ["JsonlSink", "RecordingSink", "load_trace", "merge_trace_parts"]

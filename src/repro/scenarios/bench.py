@@ -34,7 +34,7 @@ from __future__ import annotations
 from typing import Any, Dict
 
 from repro.linalg.bench import BENCH_SCHEMA, environment_info, register_bench
-from repro.utils.timing import Stopwatch
+from repro.utils.timing import Stopwatch, timing_entry
 
 from repro.scenarios.runner import _STREAM_TOPOLOGY, _derived_rng, run_suite
 from repro.scenarios.shm import cleanup_stale_segments, live_segments
@@ -151,17 +151,11 @@ def bench_sweep(scale: str = "small", seed: int = 0) -> Dict[str, Any]:
         "backends": {
             "rebuild": {
                 "backend": "rebuild-per-worker",
-                "seconds": rebuild_seconds,
-                "cells_per_sec": (
-                    num_cells / rebuild_seconds if rebuild_seconds > 0 else None
-                ),
+                **timing_entry(rebuild_seconds, count=num_cells, rate_key="cells_per_sec"),
             },
             "shared": {
                 "backend": "shared-memory",
-                "seconds": shared_seconds,
-                "cells_per_sec": (
-                    num_cells / shared_seconds if shared_seconds > 0 else None
-                ),
+                **timing_entry(shared_seconds, count=num_cells, rate_key="cells_per_sec"),
             },
         },
         "speedup_shared_over_rebuild": (

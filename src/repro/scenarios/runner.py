@@ -82,6 +82,7 @@ from repro.engine.router import RouteResult
 from repro.graphs.network import Network, edge_key
 from repro.linalg.evaluator import BACKEND_CHOICES
 from repro.mcf.lp import min_congestion_lp
+from repro.obs import JsonlSink, Tracer, active_tracer, install_tracer, merge_trace_parts, trace_span
 from repro.te.failures import apply_failure, rebase_system, rebase_without_network
 
 from repro.scenarios.spec import ScenarioCell, ScenarioSuite
@@ -253,6 +254,22 @@ def _evaluate_cell(
     network: Network,
     engine: RoutingEngine,
 ) -> Dict[str, Any]:
+    with trace_span(
+        "sweep.cell",
+        cell=cell.index,
+        key=f"t{cell.topology_index}.d{cell.demand_index}.f{cell.failure_index}",
+    ) as span:
+        payload = _evaluate_cell_body(suite, cell, network, engine)
+        span.add("rows", len(payload["rows"]))
+        return payload
+
+
+def _evaluate_cell_body(
+    suite: ScenarioSuite,
+    cell: ScenarioCell,
+    network: Network,
+    engine: RoutingEngine,
+) -> Dict[str, Any]:
     topology_spec = suite.topologies[cell.topology_index]
     demand_spec = suite.demands[cell.demand_index]
     failure_spec = suite.failures[cell.failure_index]
@@ -327,14 +344,19 @@ def _build_topology_engine(
     shard engine are interchangeable bit for bit.
     """
     topology_spec = suite.topologies[topology_index]
-    network = topology_spec.build(_derived_rng(suite.seed, _STREAM_TOPOLOGY, topology_index))
-    engine = RoutingEngine(
-        network,
-        list(suite.schemes),
-        rng=_derived_rng(suite.seed, _STREAM_ENGINE, topology_index),
-        backend=None if backend == "dict" else backend,
-    )
-    engine.install()
+    with trace_span(
+        "sweep.install", topology=topology_index, spec=topology_spec.describe()
+    ):
+        network = topology_spec.build(
+            _derived_rng(suite.seed, _STREAM_TOPOLOGY, topology_index)
+        )
+        engine = RoutingEngine(
+            network,
+            list(suite.schemes),
+            rng=_derived_rng(suite.seed, _STREAM_ENGINE, topology_index),
+            backend=None if backend == "dict" else backend,
+        )
+        engine.install()
     return engine
 
 
@@ -366,7 +388,22 @@ def _apply_test_hooks(cell_index: int) -> None:
 _WORKER: Dict[str, Any] = {}
 
 
-def _init_shared_worker(suite_payload, backend, engines, descriptors) -> None:
+def _init_worker_tracer(trace_dir: Optional[str]) -> None:
+    """Install a per-worker tracer streaming to a pid-named part file.
+
+    Only active when the parent sweep itself is being traced: each
+    worker writes ``worker-<pid>.jsonl`` next to the artifact store (or
+    in a temp directory), flushed per record so a killed worker loses
+    at most its open spans.  The parent merges the parts after the pool
+    drains (:func:`repro.obs.merge_trace_parts`).
+    """
+    if not trace_dir:
+        return
+    path = os.path.join(trace_dir, f"worker-{os.getpid()}.jsonl")
+    install_tracer(Tracer(sink=JsonlSink(path), role="worker"))
+
+
+def _init_shared_worker(suite_payload, backend, engines, descriptors, trace_dir=None) -> None:
     """Pool initializer: adopt parent-built engines, attach shm operators.
 
     ``engines`` arrives through initargs pickling — lean, because
@@ -380,6 +417,7 @@ def _init_shared_worker(suite_payload, backend, engines, descriptors) -> None:
     from repro.linalg.compiled import CompiledRouting
     from repro.scenarios.shm import attach_arrays
 
+    _init_worker_tracer(trace_dir)
     suite = ScenarioSuite.from_dict(suite_payload)
     for topology_index, per_label in descriptors.items():
         engine = engines[topology_index]
@@ -401,8 +439,9 @@ def _shared_cell_task(cell_index: int) -> Tuple[int, Dict[str, Any], int]:
     return cell_index, payload, os.getpid()
 
 
-def _init_rebuild_worker(suite_payload, backend) -> None:
+def _init_rebuild_worker(suite_payload, backend, trace_dir=None) -> None:
     """Pool initializer for the rebuild baseline: spec only, no shared state."""
+    _init_worker_tracer(trace_dir)
     _WORKER.update(
         suite=ScenarioSuite.from_dict(suite_payload), backend=backend, engines={}
     )
@@ -511,6 +550,22 @@ def _run_pending_cells(
     pool_size = max(1, min(workers, len(pending)))
     context = multiprocessing.get_context("spawn")
     segments: List[Any] = []
+
+    # When the parent is traced, workers stream their spans into
+    # pid-named part files (next to the artifact store when one exists)
+    # and the parent folds them into its own sink after the pool drains
+    # — one coherent trace per sweep, install spans in the parent, cell
+    # spans per worker.
+    tracer = active_tracer()
+    trace_dir: Optional[str] = None
+    if tracer is not None:
+        if store is not None:
+            trace_dir = os.path.join(store.path, "trace-parts")
+            os.makedirs(trace_dir, exist_ok=True)
+        else:
+            import tempfile
+
+            trace_dir = tempfile.mkdtemp(prefix="repro-trace-")
     try:
         if executor == "shared":
             topology_indices = sorted({suite.cell(i).topology_index for i in pending})
@@ -529,11 +584,11 @@ def _run_pending_cells(
                         per_label[label] = (meta, descriptor)
                     descriptors[topology_index] = per_label
             initializer = _init_shared_worker
-            initargs = (suite.to_dict(), backend, engines, descriptors)
+            initargs = (suite.to_dict(), backend, engines, descriptors, trace_dir)
             task = _shared_cell_task
         else:  # rebuild
             initializer = _init_rebuild_worker
-            initargs = (suite.to_dict(), backend)
+            initargs = (suite.to_dict(), backend, trace_dir)
             task = _rebuild_cell_task
         with context.Pool(
             processes=pool_size, initializer=initializer, initargs=initargs
@@ -542,6 +597,8 @@ def _run_pending_cells(
                 _record_completion(store, payloads, index, payload, pid)
     finally:
         release_parent_segments(segments)
+        if tracer is not None and trace_dir is not None:
+            merge_trace_parts(tracer, trace_dir, remove=True)
 
 
 def run_suite(
@@ -624,7 +681,13 @@ def run_suite(
             payloads.update(store.completed_payloads())
         pending = [i for i in range(suite.num_cells()) if i not in payloads]
         if pending:
-            _run_pending_cells(suite, pending, workers, backend, executor, store, payloads)
+            with trace_span(
+                "sweep.run", suite=suite.name, executor=executor
+            ) as run_span:
+                run_span.add("cells", len(pending))
+                _run_pending_cells(
+                    suite, pending, workers, backend, executor, store, payloads
+                )
     finally:
         if store is not None:
             store.close()

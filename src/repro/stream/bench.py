@@ -37,7 +37,7 @@ from repro.linalg.bench import (
     register_bench,
 )
 from repro.linalg.compiled import CompiledRouting
-from repro.utils.timing import Stopwatch
+from repro.utils.timing import Stopwatch, timing_entry
 
 from repro.stream.incremental import IncrementalStreamEvaluator
 from repro.stream.metrics import RollingStreamStats
@@ -123,15 +123,17 @@ def bench_stream(scale: str = "small", seed: int = 0) -> Dict[str, Any]:
         "backends": {
             "batch": {
                 "backend": f"batch-{compiled.representation}",
-                "seconds": batch_seconds,
-                "steps_per_sec": steps / batch_seconds if batch_seconds > 0 else None,
+                **timing_entry(batch_seconds, count=steps, rate_key="steps_per_sec"),
             },
             "incremental": {
                 "backend": f"incremental-{compiled.representation}",
-                "seconds": incremental_seconds,
-                "steps_per_sec": steps / incremental_seconds if incremental_seconds > 0 else None,
-                "compile_seconds": compile_watch.elapsed,
-                "full_recomputes": incremental.num_full_recomputes,
+                **timing_entry(
+                    incremental_seconds,
+                    count=steps,
+                    rate_key="steps_per_sec",
+                    compile_seconds=compile_watch.elapsed,
+                    full_recomputes=incremental.num_full_recomputes,
+                ),
             },
         },
         "speedup_incremental_over_batch": (

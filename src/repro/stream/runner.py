@@ -32,6 +32,7 @@ from repro.exceptions import RoutingError, StreamError
 from repro.graphs.network import Network
 from repro.linalg._matrix import resolve_representation
 from repro.linalg.compiled import CompiledRouting
+from repro.obs import NO_OP_SPAN, trace_span
 from repro.utils.serialization import dumps as _json_dumps
 
 from repro.stream.incremental import IncrementalStreamEvaluator
@@ -238,53 +239,75 @@ def run_stream(
     records: List[Dict[str, Any]] = []
     ratios: List[float] = []
 
-    for update in updates:
-        demand = update.demand
-        resolved = False
-        forced = False
-        if evaluator is None or policy.should_resolve(update.step, demand, last_congestion):
-            routing = policy.resolve(update.step, demand)
-            evaluator = IncrementalStreamEvaluator(
-                CompiledRouting.from_routing(routing, representation=representation)
-            )
-            evaluator.set_demand(demand, delta=None)
-            resolved = True
-        else:
-            try:
-                evaluator.set_demand(demand, delta=update.delta)
-            except RoutingError:
-                # The stream shifted outside the routing's coverage: a
-                # real controller re-optimizes rather than blackholing
-                # the new flows.  Forced re-solves are reported
-                # separately from scheduled ones.
-                routing = policy.resolve(update.step, demand)
-                evaluator = IncrementalStreamEvaluator(
-                    CompiledRouting.from_routing(routing, representation=representation)
-                )
+    # Per-step spans would dominate short steps, so tracing aggregates
+    # steps into one ``stream.interval`` span per installed routing
+    # (opened at each re-solve, closed at the next one); the interval's
+    # ``steps`` counter says how many deltas it absorbed.
+    replay_span = trace_span("stream.replay", policy=policy.name, steps=len(updates))
+    interval = NO_OP_SPAN
+    segment = 0
+    with replay_span:
+        for update in updates:
+            demand = update.demand
+            resolved = False
+            forced = False
+            if evaluator is None or policy.should_resolve(update.step, demand, last_congestion):
+                interval.__exit__(None, None, None)
+                interval = NO_OP_SPAN
+                with trace_span("stream.resolve", step=update.step):
+                    routing = policy.resolve(update.step, demand)
+                    evaluator = IncrementalStreamEvaluator(
+                        CompiledRouting.from_routing(routing, representation=representation)
+                    )
                 evaluator.set_demand(demand, delta=None)
                 resolved = True
-                forced = True
-                forced_resolves += 1
-        congestion = evaluator.congestion()
-        record = stats.observe(
-            congestion,
-            evaluator.utilizations(),
-            loads=evaluator.loads if track_loads else None,
-        )
-        record["resolved"] = resolved
-        if forced:
-            record["forced"] = True
-        if optimal is not None:
-            optimum = float(optimal(demand))
-            ratio = congestion_ratio(congestion, optimum)
-            record["optimal_congestion"] = optimum
-            record["ratio"] = ratio
-            ratios.append(ratio)
-        if record_steps:
-            records.append(record)
-        if on_step is not None:
-            on_step(update.step, evaluator, stats)
-        last_congestion = congestion
+            else:
+                try:
+                    evaluator.set_demand(demand, delta=update.delta)
+                except RoutingError:
+                    # The stream shifted outside the routing's coverage: a
+                    # real controller re-optimizes rather than blackholing
+                    # the new flows.  Forced re-solves are reported
+                    # separately from scheduled ones.
+                    interval.__exit__(None, None, None)
+                    interval = NO_OP_SPAN
+                    with trace_span("stream.resolve", step=update.step, forced=True):
+                        routing = policy.resolve(update.step, demand)
+                        evaluator = IncrementalStreamEvaluator(
+                            CompiledRouting.from_routing(routing, representation=representation)
+                        )
+                    evaluator.set_demand(demand, delta=None)
+                    resolved = True
+                    forced = True
+                    forced_resolves += 1
+            if resolved:
+                interval = trace_span("stream.interval", segment=segment)
+                segment += 1
+                interval.__enter__()
+            interval.add("steps", 1)
+            congestion = evaluator.congestion()
+            record = stats.observe(
+                congestion,
+                evaluator.utilizations(),
+                loads=evaluator.loads if track_loads else None,
+            )
+            record["resolved"] = resolved
+            if forced:
+                record["forced"] = True
+            if optimal is not None:
+                optimum = float(optimal(demand))
+                ratio = congestion_ratio(congestion, optimum)
+                record["optimal_congestion"] = optimum
+                record["ratio"] = ratio
+                ratios.append(ratio)
+            if record_steps:
+                records.append(record)
+            if on_step is not None:
+                on_step(update.step, evaluator, stats)
+            last_congestion = congestion
+        interval.__exit__(None, None, None)
+        replay_span.add("resolves", policy.num_resolves)
+        replay_span.add("forced_resolves", forced_resolves)
 
     summary = stats.summary()
     summary["num_resolves"] = policy.num_resolves

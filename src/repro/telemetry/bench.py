@@ -32,7 +32,7 @@ from repro.linalg.bench import BENCH_SCHEMA, environment_info, register_bench
 from repro.linalg.compiled import CompiledRouting
 from repro.net.catalog import catalog_entries, load_catalog_topology
 from repro.net.fitting import fitted_gravity_series
-from repro.utils.timing import Stopwatch
+from repro.utils.timing import Stopwatch, timing_entry
 
 from repro.telemetry.observation import ObservationModel
 from repro.telemetry.odme import estimate_demand
@@ -141,15 +141,11 @@ def bench_odme(scale: str = "small", seed: int = 0) -> Dict[str, Any]:
         "backends": {
             "entropy": {
                 "backend": "entropy-ipf",
-                "seconds": entropy_total,
-                "demands_per_sec": (
-                    estimations / entropy_total if entropy_total > 0 else None
-                ),
+                **timing_entry(entropy_total, count=estimations, rate_key="demands_per_sec"),
             },
             "nnls": {
                 "backend": nnls_method,
-                "seconds": nnls_total,
-                "demands_per_sec": estimations / nnls_total if nnls_total > 0 else None,
+                **timing_entry(nnls_total, count=estimations, rate_key="demands_per_sec"),
             },
         },
         "speedup_nnls_over_entropy": (

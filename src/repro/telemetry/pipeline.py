@@ -36,6 +36,7 @@ import numpy as np
 from repro.exceptions import TelemetryError
 from repro.graphs.network import Network
 from repro.linalg.compiled import CompiledRouting
+from repro.obs import trace_span
 from repro.utils.serialization import dumps as _json_dumps
 
 from repro.telemetry.observation import ObservationModel
@@ -144,56 +145,60 @@ def run_odme_loop(
     for index, truth in enumerate(series):
         if truth.is_empty():
             continue
-        routing_true = _routing_of(router.route(truth), scheme)
-        compiled = CompiledRouting.from_routing(routing_true, representation=representation)
-        rng = np.random.default_rng(np.random.SeedSequence([int(seed), index]))
-        observation = model.observe(compiled, truth, rng=rng)
-        estimate = estimate_demand(
-            compiled,
-            observation,
-            method=method,
-            prior=prior,
-            regularization=regularization,
-        )
-        resolved_method = estimate.method
+        with trace_span("odme.snapshot", snapshot=index):
+            routing_true = _routing_of(router.route(truth), scheme)
+            compiled = CompiledRouting.from_routing(routing_true, representation=representation)
+            rng = np.random.default_rng(np.random.SeedSequence([int(seed), index]))
+            observation = model.observe(compiled, truth, rng=rng)
+            with trace_span("odme.estimate", method=method) as estimate_span:
+                estimate = estimate_demand(
+                    compiled,
+                    observation,
+                    method=method,
+                    prior=prior,
+                    regularization=regularization,
+                )
+                estimate_span.set("resolved_method", estimate.method)
+                estimate_span.add("converged", 1 if estimate.converged else 0)
+            resolved_method = estimate.method
 
-        truth_vector = compiled.demand_vector(truth, missing="drop")
-        truth_norm = float(np.linalg.norm(truth_vector))
-        error_l2 = float(np.linalg.norm(estimate.vector - truth_vector)) / max(
-            truth_norm, 1e-12
-        )
-        error_max = float(np.max(np.abs(estimate.vector - truth_vector), initial=0.0))
+            truth_vector = compiled.demand_vector(truth, missing="drop")
+            truth_norm = float(np.linalg.norm(truth_vector))
+            error_l2 = float(np.linalg.norm(estimate.vector - truth_vector)) / max(
+                truth_norm, 1e-12
+            )
+            error_max = float(np.max(np.abs(estimate.vector - truth_vector), initial=0.0))
 
-        congestion_true = compiled.congestion(truth, missing="drop")
-        routing_estimated = _routing_of(router.route(estimate.demand), scheme)
-        compiled_estimated = CompiledRouting.from_routing(
-            routing_estimated, representation=representation
-        )
-        # The controller installs the estimate-driven routing; the real
-        # traffic is still the truth — score it there.  Truth pairs the
-        # re-routed state no longer covers are dropped (they would show
-        # as infinite congestion, drowning the gap signal).
-        congestion_estimated = compiled_estimated.congestion(truth, missing="drop")
-        gap = congestion_estimated - congestion_true
-        records.append(
-            {
-                "snapshot": index,
-                "demand_error_l2": error_l2,
-                "demand_error_max": error_max,
-                "residual": estimate.residual,
-                "converged": estimate.converged,
-                "congestion_true": congestion_true,
-                "congestion_estimated": congestion_estimated,
-                "congestion_gap": gap,
-                "congestion_ratio": (
-                    congestion_estimated / congestion_true
-                    if congestion_true > 0
-                    else None
-                ),
-                "estimated_volume": float(estimate.vector.sum()),
-                "true_volume": float(truth_vector.sum()),
-            }
-        )
+            congestion_true = compiled.congestion(truth, missing="drop")
+            routing_estimated = _routing_of(router.route(estimate.demand), scheme)
+            compiled_estimated = CompiledRouting.from_routing(
+                routing_estimated, representation=representation
+            )
+            # The controller installs the estimate-driven routing; the real
+            # traffic is still the truth — score it there.  Truth pairs the
+            # re-routed state no longer covers are dropped (they would show
+            # as infinite congestion, drowning the gap signal).
+            congestion_estimated = compiled_estimated.congestion(truth, missing="drop")
+            gap = congestion_estimated - congestion_true
+            records.append(
+                {
+                    "snapshot": index,
+                    "demand_error_l2": error_l2,
+                    "demand_error_max": error_max,
+                    "residual": estimate.residual,
+                    "converged": estimate.converged,
+                    "congestion_true": congestion_true,
+                    "congestion_estimated": congestion_estimated,
+                    "congestion_gap": gap,
+                    "congestion_ratio": (
+                        congestion_estimated / congestion_true
+                        if congestion_true > 0
+                        else None
+                    ),
+                    "estimated_volume": float(estimate.vector.sum()),
+                    "true_volume": float(truth_vector.sum()),
+                }
+            )
     if not records:
         raise TelemetryError("cannot run the ODME loop on an all-empty series")
     errors = [record["demand_error_l2"] for record in records]

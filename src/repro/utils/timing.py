@@ -16,36 +16,50 @@ from typing import Dict, List
 class Stopwatch:
     """Context manager measuring one block with ``time.perf_counter``.
 
-    The bench targets (``repro bench linalg|rebase|stream``) all time
-    their measured loops through this class::
+    The bench targets (``repro bench linalg|rebase|stream``) and the
+    tracing spans (:mod:`repro.obs`) all time their measured blocks
+    through this class::
 
         with Stopwatch() as watch:
             run_workload()
         print(watch.elapsed)
 
     ``elapsed`` is live while the block runs and freezes on exit.
+    ``clock`` swaps the time source — the overhead bench passes
+    ``time.process_time`` so a stolen vCPU slice or a descheduled
+    window does not count against the measured leg.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
         self._start: float = 0.0
         self._elapsed: float = 0.0
         self._running = False
 
     def __enter__(self) -> "Stopwatch":
-        self._start = time.perf_counter()
+        self._start = self._clock()
         self._running = True
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self._elapsed = time.perf_counter() - self._start
+        self._elapsed = self._clock() - self._start
         self._running = False
 
     @property
     def elapsed(self) -> float:
         """Seconds measured so far (final once the block has exited)."""
         if self._running:
-            return time.perf_counter() - self._start
+            return self._clock() - self._start
         return self._elapsed
+
+    @property
+    def started_at(self) -> float:
+        """``perf_counter`` value at ``__enter__`` (0.0 before entry).
+
+        Trace spans use this to place themselves on the tracer's
+        monotonic timeline without a second ``perf_counter`` call.
+        """
+        return self._start
 
 
 @dataclass
@@ -93,4 +107,33 @@ class _Section:
         self._timer.record(self._name, time.perf_counter() - self._start)
 
 
-__all__ = ["Stopwatch", "Timer"]
+def timing_entry(
+    seconds: float,
+    count: int | None = None,
+    rate_key: str | None = None,
+    **extra: object,
+) -> Dict[str, object]:
+    """Build one ``backends``-style timing record for a bench artifact.
+
+    Every bench target stores per-backend measurements as a dict with a
+    ``seconds`` field plus an optional throughput field derived from an
+    item count (``demands_per_sec``, ``steps_per_sec``, ...).  This
+    helper is the single place that derivation lives so the artifact
+    schema (``repro-bench/v1``) stays consistent across targets::
+
+        timing_entry(watch.elapsed, count=num_steps, rate_key="steps_per_sec")
+        # -> {"seconds": ..., "steps_per_sec": ...}
+
+    ``extra`` keys are copied through verbatim (after the rate, matching
+    the historical key order of the committed artifacts).
+    """
+    entry: Dict[str, object] = {"seconds": seconds}
+    if count is not None:
+        if rate_key is None:
+            raise ValueError("timing_entry needs rate_key when count is given")
+        entry[rate_key] = count / seconds if seconds > 0 else None
+    entry.update(extra)
+    return entry
+
+
+__all__ = ["Stopwatch", "Timer", "timing_entry"]

@@ -159,3 +159,75 @@ def test_stream_run_writes_output(tmp_path, capsys):
 def test_bench_list_includes_stream(capsys):
     assert main(["bench", "list"]) == 0
     assert "stream" in capsys.readouterr().out
+
+
+def test_bench_list_includes_obs(capsys):
+    assert main(["bench", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "obs" in out and "tracing overhead" in out
+
+
+def test_scenarios_run_unknown_suite_exits_2(capsys):
+    assert main(["scenarios", "run", "--suite", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown suite" in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_stream_run_unknown_stream_exits_2(capsys):
+    assert main([
+        "stream", "run", "--topology", "torus:3", "--stream", "nope", "--steps", "4",
+    ]) == 2
+    err = capsys.readouterr().err
+    assert "stream run failed" in err and "unknown stream" in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_te_trace_writes_parseable_file(tmp_path, capsys):
+    from repro.obs import load_trace, span_records, tracing_enabled
+
+    trace_path = tmp_path / "te.jsonl"
+    assert main([
+        "te", "--topology", "hypercube:3", "--snapshots", "2",
+        "--scheme", "spf", "--trace", str(trace_path),
+    ]) == 0
+    captured = capsys.readouterr()
+    assert f"wrote trace to {trace_path}" in captured.err
+    assert not tracing_enabled()  # CLI uninstalls its tracer on the way out
+    records = load_trace(str(trace_path))
+    names = {record["name"] for record in span_records(records)}
+    assert "cli.te" in names
+    assert any(name.startswith("mcf.") for name in names)
+
+
+def test_trace_summarize_and_export_cli(tmp_path, capsys):
+    trace_path = tmp_path / "te.jsonl"
+    assert main([
+        "te", "--topology", "hypercube:3", "--snapshots", "1",
+        "--scheme", "spf", "--trace", str(trace_path),
+    ]) == 0
+    capsys.readouterr()
+
+    assert main(["trace", "summarize", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "span" in out and "self_s" in out and "cli.te" in out
+
+    chrome_path = tmp_path / "te.chrome.json"
+    assert main([
+        "trace", "export", str(trace_path), "--chrome", "--output", str(chrome_path),
+    ]) == 0
+    capsys.readouterr()
+    document = json.loads(chrome_path.read_text())
+    assert document["traceEvents"]
+    phases = {event["ph"] for event in document["traceEvents"]}
+    assert phases == {"M", "X"}
+
+    # default output path derives from the trace path
+    assert main(["trace", "export", str(trace_path), "--chrome"]) == 0
+    capsys.readouterr()
+    assert (tmp_path / "te.chrome.json").exists()
+
+
+def test_trace_summarize_missing_file_exits_2(tmp_path, capsys):
+    assert main(["trace", "summarize", str(tmp_path / "absent.jsonl")]) == 2
+    assert "cannot read trace file" in capsys.readouterr().err

@@ -34,6 +34,10 @@ def load_artifacts(paths):
 def _workload_summary(workload) -> str:
     if "num_steps" in workload:
         return f"{workload['num_steps']} stream steps"
+    if "num_estimations" in workload:
+        return f"{workload['num_estimations']} estimations"
+    if "num_cells" in workload:
+        return f"{workload['num_cells']} cells x {workload['workers']} workers"
     summary = f"{workload['num_demands']} demands"
     if "num_events" in workload:
         summary += f" x {workload['num_events']} failures"
@@ -42,8 +46,9 @@ def _workload_summary(workload) -> str:
 
 def render(artifacts) -> str:
     """Baseline/fast columns are generic: every payload orders its
-    ``backends`` mapping baseline-first and carries exactly one
-    ``speedup_<fast>_over_<baseline>`` key."""
+    ``backends`` mapping baseline-first and carries either one
+    ``speedup_<fast>_over_<baseline>`` key or (overhead-style benches,
+    e.g. ``obs``) an ``overhead_enabled_pct`` figure."""
     lines = [
         "| bench | topology | workload | baseline | fast | speedup |",
         "|---|---|---|---|---|---|",
@@ -54,15 +59,20 @@ def render(artifacts) -> str:
         baseline = payload["backends"][baseline_name]
         fast = payload["backends"][fast_name]
         speedup = next(
-            value for key, value in payload.items() if key.startswith("speedup_")
+            (value for key, value in payload.items() if key.startswith("speedup_")),
+            None,
         )
+        if speedup is not None:
+            figure = f"**{speedup:.1f}x**"
+        else:
+            figure = f"{payload['overhead_enabled_pct']:+.1f}% overhead"
         lines.append(
             f"| `{payload['name']}` "
             f"| {network['name']} (n={network['n']}, m={network['m']}) "
             f"| {_workload_summary(payload['workload'])} "
             f"| {baseline['seconds']:.2f} s ({baseline_name}) "
             f"| {fast['seconds']:.2f} s ({fast_name}) "
-            f"| **{speedup:.1f}x** |"
+            f"| {figure} |"
         )
     return "\n".join(lines)
 
