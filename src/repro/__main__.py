@@ -79,6 +79,21 @@ Subcommands
         python -m repro bench net --scale smoke
         python -m repro bench --scale full --output-dir .
 
+``forwarding``
+    ECMP realization: quantize any scheme's routing into per-node
+    next-hop buckets (split ratios in multiples of 1/k), hash discrete
+    flows onto the table, and measure the fractional-vs-realized
+    congestion gap with analytic non-congestion probabilities::
+
+        python -m repro forwarding quantize --topology "zoo(abilene)" --buckets 8
+        python -m repro forwarding realize --scheme "oblivious(ksp, k=4)" --flows 128
+        python -m repro forwarding gap --topology "zoo(abilene)" --buckets 8 --json
+
+    Seeded ``--json`` artifacts are bit-identical across runs.  The
+    ``realized(...)`` scheme wrapper exposes the same realization to
+    every other subcommand, e.g.
+    ``repro te --scheme "realized(oblivious(ksp, k=4), buckets=8)"``.
+
 ``trace``
     Inspect trace files produced by ``--trace`` (available on ``te``,
     ``scenarios run``, ``stream run``, ``net fit``, ``net odme``)::
@@ -419,6 +434,7 @@ def _cmd_stream_run(
     no_steps: bool,
     output: Optional[str],
     trace: Optional[str] = None,
+    churn_buckets: Optional[int] = None,
 ) -> int:
     from repro.engine import RoutingEngine
     from repro.exceptions import ReproError
@@ -438,6 +454,7 @@ def _cmd_stream_run(
                 threshold=threshold,
                 with_optimal=with_optimal,
                 record_steps=not no_steps,
+                churn_buckets=churn_buckets,
             )
             elapsed = time.perf_counter() - start
         except ReproError as error:
@@ -772,6 +789,177 @@ def _cmd_net_odme(
     return 0
 
 
+_FORWARDING_SCHEMA = "repro-forwarding/v1"
+
+
+def _forwarding_setup(topology: str, scheme: str, seed: int):
+    """Build (network, routing, demand) for the forwarding subcommands.
+
+    The demand is one fitted-gravity snapshot (capacity marginals on
+    synthetic topologies, bundled marginals on catalog entries) and the
+    routing is whatever the scheme installs — both seeded through
+    ``SeedSequence`` so repeated invocations are bit-identical.
+    """
+    from numpy.random import SeedSequence, default_rng
+
+    from repro.engine import build_router
+    from repro.exceptions import ForwardingError
+    from repro.net import fitted_gravity_series
+
+    network = _build_te_network(topology, seed)
+    demand = list(
+        fitted_gravity_series(network, 1, rng=default_rng(SeedSequence([seed, 0])))
+    )[0]
+    router = build_router(scheme, network, rng=default_rng(SeedSequence([seed, 1])))
+    router.install()
+    result = router.route(demand)
+    if result.routing is None:
+        raise ForwardingError(
+            f"scheme {scheme!r} does not materialize a routing to quantize "
+            "(the optimal MCF router solves per demand); pick a path-based scheme"
+        )
+    return network, result.routing, demand
+
+
+def _cmd_forwarding_quantize(
+    topology: str,
+    scheme: str,
+    buckets: int,
+    on_cycle: str,
+    seed: int,
+    as_json: bool,
+    output: Optional[str],
+    trace: Optional[str] = None,
+) -> int:
+    from repro.exceptions import ReproError
+    from repro.forwarding import quantize_routing
+
+    try:
+        with _tracing(trace, "cli.forwarding.quantize"):
+            network, routing, _ = _forwarding_setup(topology, scheme, seed)
+            table = quantize_routing(routing, buckets=buckets, on_cycle=on_cycle)
+    except ReproError as error:
+        print(error, file=sys.stderr)
+        return 2
+    payload = {
+        "artifact": "forwarding-table",
+        "schema": _FORWARDING_SCHEMA,
+        "topology": topology,
+        "scheme": scheme,
+        "seed": seed,
+        "on_cycle": on_cycle,
+        **table.to_dict(),
+    }
+    if output or as_json:
+        _emit_net_artifact(json_dumps(payload), output, as_json, "forwarding-table")
+    if not as_json:
+        print(f"{network.name}: quantized {len(table.entries)} pair(s) at 1/{buckets} "
+              f"granularity -> {table.num_rules()} next-hop rules, "
+              f"{len(table.fallback_pairs())} path-mode fallback(s), "
+              f"max TV error {table.max_error():.4f}")
+    return 0
+
+
+def _cmd_forwarding_realize(
+    topology: str,
+    scheme: str,
+    buckets: int,
+    flows: int,
+    backend: str,
+    seed: int,
+    as_json: bool,
+    output: Optional[str],
+    trace: Optional[str] = None,
+) -> int:
+    from repro.exceptions import ReproError
+    from repro.forwarding import evaluate_realization
+
+    try:
+        with _tracing(trace, "cli.forwarding.realize"):
+            network, routing, demand = _forwarding_setup(topology, scheme, seed)
+            _, result = evaluate_realization(
+                routing, demand, buckets=buckets, flows=flows,
+                seed=seed, backend=backend,
+            )
+    except ReproError as error:
+        print(error, file=sys.stderr)
+        return 2
+    payload = {
+        "artifact": "forwarding-realization",
+        "schema": _FORWARDING_SCHEMA,
+        "topology": topology,
+        "scheme": scheme,
+        "seed": seed,
+        **result.to_dict(),
+    }
+    if output or as_json:
+        _emit_net_artifact(json_dumps(payload), output, as_json, "realization")
+    if not as_json:
+        print(f"{network.name}: fractional {result.fractional_congestion:.4f} vs "
+              f"quantized {result.quantized_congestion:.4f} "
+              f"(gap {result.gap:.4f}) at k={buckets}; "
+              f"{flows} hashed flow(s) -> {result.flow_congestion:.4f} "
+              f"(gap {result.flow_gap:.4f})")
+    return 0
+
+
+def _cmd_forwarding_gap(
+    topology: str,
+    scheme: str,
+    buckets_list: List[int],
+    flows: int,
+    backend: str,
+    seed: int,
+    as_json: bool,
+    output: Optional[str],
+    trace: Optional[str] = None,
+) -> int:
+    from repro.exceptions import ReproError
+    from repro.forwarding import analyze_placement, evaluate_realization
+
+    buckets_list = sorted(set(buckets_list)) if buckets_list else [2, 4, 8, 16]
+    rows = []
+    try:
+        with _tracing(trace, "cli.forwarding.gap"):
+            network, routing, demand = _forwarding_setup(topology, scheme, seed)
+            for buckets in buckets_list:
+                _, result = evaluate_realization(
+                    routing, demand, buckets=buckets, flows=flows,
+                    seed=seed, backend=backend,
+                )
+                analytic = analyze_placement(buckets, flows, seed=seed)
+                rows.append({"buckets": buckets, **result.to_dict(),
+                             "analytic": analytic})
+    except ReproError as error:
+        print(error, file=sys.stderr)
+        return 2
+    payload = {
+        "artifact": "forwarding-gap",
+        "schema": _FORWARDING_SCHEMA,
+        "topology": topology,
+        "scheme": scheme,
+        "seed": seed,
+        "flows": flows,
+        "network": {"n": network.num_vertices, "m": network.num_edges},
+        "rows": rows,
+        "max_gap": max(row["gap"] for row in rows),
+    }
+    if output or as_json:
+        _emit_net_artifact(json_dumps(payload), output, as_json, "forwarding-gap")
+    if not as_json:
+        print(f"{network.name}: fractional congestion "
+              f"{rows[0]['fractional_congestion']:.4f} ({scheme})")
+        header = (f"{'k':>4s} {'quantized':>10s} {'gap':>8s} {'flow-gap':>9s} "
+                  f"{'rules':>6s} {'P(no congest)':>14s}")
+        print(header)
+        print("-" * len(header))
+        for row in rows:
+            print(f"{row['buckets']:4d} {row['quantized_congestion']:10.4f} "
+                  f"{row['gap']:8.4f} {row['flow_gap']:9.4f} {row['rules']:6d} "
+                  f"{row['analytic']['non_congestion_probability']:14.4f}")
+    return 0
+
+
 def _cmd_trace_summarize(path: str, limit: int) -> int:
     from repro.exceptions import ObsError
     from repro.obs import load_trace, render_summary, summarize_trace
@@ -876,8 +1064,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                                  "(dict reproduces reference artifacts bit for bit)")
     from repro.scenarios.runner import EXECUTOR_CHOICES
 
-    run_parser.add_argument("--executor", choices=EXECUTOR_CHOICES, default="auto",
-                            help="execution strategy (auto: inline for --workers 1, "
+    # No argparse choices= here on purpose: the runner validates the
+    # executor itself and reports the registered list, so extension
+    # executors registered at runtime keep working.
+    run_parser.add_argument("--executor", default="auto",
+                            help="execution strategy, one of "
+                                 f"{', '.join(EXECUTOR_CHOICES)} "
+                                 "(auto: inline for --workers 1, "
                                  "shared-memory cell queue otherwise)")
     run_parser.add_argument("--artifact-dir", default=None,
                             help="stream per-cell results into a resumable store "
@@ -924,6 +1117,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                             help="also write the JSON artifact to this path")
     stream_run.add_argument("--trace", default=None, metavar="PATH",
                             help="write a span trace (JSONL) of the replay to this path")
+    stream_run.add_argument("--churn-buckets", type=int, default=None, metavar="K",
+                            help="also charge each policy re-solve its ECMP "
+                                 "forwarding-table churn at 1/K split granularity "
+                                 "(default: off)")
 
     net_parser = subparsers.add_parser(
         "net", help="real-network ingestion: topology catalog, conversion, demand fitting"
@@ -989,6 +1186,60 @@ def main(argv: Optional[List[str]] = None) -> int:
                           help="write the JSON artifact to this path")
     net_odme.add_argument("--trace", default=None, metavar="PATH",
                           help="write a span trace (JSONL) of the loop to this path")
+
+    fwd_parser = subparsers.add_parser(
+        "forwarding", help="ECMP-realizable forwarding tables and congestion gaps"
+    )
+    fwd_sub = fwd_parser.add_subparsers(dest="forwarding_command", required=True)
+
+    def _forwarding_common(sub):
+        sub.add_argument("--topology", default="zoo(abilene)",
+                         help="synthetic (hypercube:K, torus:K, ...) or catalog "
+                              "name (default zoo(abilene))")
+        sub.add_argument("--scheme", default="oblivious(ksp, k=4)",
+                         help="scheme whose routing is realized "
+                              "(default 'oblivious(ksp, k=4)')")
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument("--json", action="store_true",
+                         help="print the artifact (bit-identical per seed)")
+        sub.add_argument("--output", default=None,
+                         help="write the JSON artifact to this path")
+        sub.add_argument("--trace", default=None, metavar="PATH",
+                         help="write a span trace (JSONL) to this path")
+
+    fwd_quantize = fwd_sub.add_parser(
+        "quantize", help="emit the ECMP forwarding table for a scheme's routing"
+    )
+    fwd_quantize.add_argument("--buckets", type=int, default=8,
+                              help="split-ratio granularity 1/k (default 8)")
+    fwd_quantize.add_argument("--on-cycle", choices=("decompose", "error"),
+                              default="decompose", dest="on_cycle",
+                              help="cyclic/non-confluent pairs: fall back to "
+                                   "per-path quantization or raise (default decompose)")
+    _forwarding_common(fwd_quantize)
+    fwd_realize = fwd_sub.add_parser(
+        "realize", help="hash discrete flows onto the table and report realized congestion"
+    )
+    fwd_realize.add_argument("--buckets", type=int, default=8,
+                             help="split-ratio granularity 1/k (default 8)")
+    fwd_realize.add_argument("--flows", type=int, default=64,
+                             help="discrete flows hashed per pair (default 64)")
+    fwd_realize.add_argument("--backend", choices=("auto", "sparse", "dense"),
+                             default="auto",
+                             help="compiled evaluation representation (default auto)")
+    _forwarding_common(fwd_realize)
+    fwd_gap = fwd_sub.add_parser(
+        "gap", help="fractional-vs-ECMP congestion gap across bucket granularities"
+    )
+    fwd_gap.add_argument("--buckets", type=int, action="append", default=[],
+                         dest="buckets_list",
+                         help="bucket count, repeatable (default: 2 4 8 16)")
+    fwd_gap.add_argument("--flows", type=int, default=64,
+                         help="discrete flows hashed per pair (default 64)")
+    fwd_gap.add_argument("--backend", choices=("auto", "sparse", "dense"),
+                         default="auto",
+                         help="compiled evaluation representation (default auto)")
+    _forwarding_common(fwd_gap)
 
     trace_parser = subparsers.add_parser(
         "trace", help="summarize or export span traces written by --trace"
@@ -1057,6 +1308,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.topology, args.stream_kind, args.steps, args.policies, args.scheme,
                 args.seed, args.window, args.threshold, args.backend, args.optimal,
                 args.json, args.no_steps, args.output, trace=args.trace,
+                churn_buckets=args.churn_buckets,
+            )
+        return 2
+    if args.command == "forwarding":
+        if args.forwarding_command == "quantize":
+            return _cmd_forwarding_quantize(
+                args.topology, args.scheme, args.buckets, args.on_cycle, args.seed,
+                as_json=args.json, output=args.output, trace=args.trace,
+            )
+        if args.forwarding_command == "realize":
+            return _cmd_forwarding_realize(
+                args.topology, args.scheme, args.buckets, args.flows, args.backend,
+                args.seed, as_json=args.json, output=args.output, trace=args.trace,
+            )
+        if args.forwarding_command == "gap":
+            return _cmd_forwarding_gap(
+                args.topology, args.scheme, args.buckets_list, args.flows, args.backend,
+                args.seed, as_json=args.json, output=args.output, trace=args.trace,
             )
         return 2
     if args.command == "net":

@@ -337,6 +337,7 @@ class RoutingEngine:
         record_steps: bool = True,
         on_step=None,
         track_loads: bool = False,
+        churn_buckets=None,
     ):
         """Replay a demand stream through one scheme under rerouting policies.
 
@@ -353,6 +354,8 @@ class RoutingEngine:
         ``"auto"``).  With ``with_optimal`` each step is normalized by
         the per-snapshot optimal MCF congestion — solved through the
         engine's memoized solver, so repeated snapshots are free.
+        ``churn_buckets`` additionally charges each policy re-solve its
+        ECMP forwarding-table churn (see :func:`repro.stream.run_stream`).
         """
         from repro.stream.runner import run_stream, run_stream_comparison
 
@@ -391,6 +394,7 @@ class RoutingEngine:
             optimal_routing=optimal_routing,
             record_steps=record_steps,
             track_loads=track_loads,
+            churn_buckets=churn_buckets,
         )
         if isinstance(policies, str):
             return run_stream(

@@ -548,6 +548,40 @@ def _build_spf(
 
 
 @register_scheme(
+    "realized",
+    positional=("scheme",),
+    aliases=("ecmp",),
+    description="ECMP realization of another scheme: quantized 1/k next-hop splits, "
+    "optional discrete-flow hashing; realized(oblivious(racke), buckets=8)",
+)
+def _build_realized(
+    network: Network,
+    rng: RngLike = None,
+    context: Optional[EngineContext] = None,
+    scheme: str = "spf",
+    buckets: int = 8,
+    flows: Optional[int] = None,
+    on_cycle: str = "decompose",
+    backend: str = "auto",
+) -> Router:
+    # Imported lazily: the registry is a lower layer than the forwarding
+    # package, and suite specs parse `realized(...)` strings before any
+    # forwarding import happens (same pattern as the extension axes).
+    from repro.forwarding.router import RealizedRouter
+
+    inner = build_router(scheme, network, rng=rng, context=context)
+    return RealizedRouter(
+        network,
+        inner,
+        buckets=buckets,
+        flows=flows,
+        on_cycle=on_cycle,
+        backend=backend,
+        rng=ensure_rng(rng),
+    )
+
+
+@register_scheme(
     "optimal",
     aliases=("mcf", "opt"),
     description="the per-snapshot optimal MCF (ratio 1 by definition)",

@@ -104,6 +104,20 @@ class ObsError(ReproError):
     """
 
 
+class ForwardingError(ReproError):
+    """Raised when a routing cannot be realized as ECMP forwarding state.
+
+    Examples include per-pair path weights that do not sum to one within
+    1e-9 (the quantizer refuses to renormalize silently), directed
+    cycles in a pair's next-hop graph under ``on_cycle="error"``, bucket
+    counts below one, and realization requests against schemes that do
+    not materialize a routing (the optimal MCF router).  (A cyclic or
+    non-confluent pair under the default ``on_cycle="decompose"`` is
+    *not* an error: it falls back to per-path weight quantization and is
+    reported through the table's ``fallback_pairs`` diagnostic.)
+    """
+
+
 class ArtifactError(ReproError):
     """Raised when an on-disk sweep artifact store is inconsistent.
 

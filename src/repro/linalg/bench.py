@@ -271,6 +271,7 @@ _EXTERNAL_BENCH_MODULES = (
     "repro.telemetry.bench",
     "repro.scenarios.bench",
     "repro.obs.bench",
+    "repro.forwarding.bench",
 )
 
 

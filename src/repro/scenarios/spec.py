@@ -71,6 +71,7 @@ class ScenarioError(ReproError):
 _EXTENSION_AXIS_MODULES = (
     "repro.net.scenario_axes",
     "repro.telemetry.scenario_axes",
+    "repro.forwarding.scenario_axes",
 )
 _extension_axes_loaded = False
 
@@ -765,12 +766,14 @@ _BUILTIN_SUITES: Dict[str, Callable[[], ScenarioSuite]] = {
 
 
 def available_suites() -> List[str]:
-    """Names of the built-in scenario suites."""
+    """Names of the built-in scenario suites (including extension axes)."""
+    _ensure_extension_axes()
     return sorted(_BUILTIN_SUITES)
 
 
 def get_suite(name: str) -> ScenarioSuite:
     """Look up a built-in suite by name."""
+    _ensure_extension_axes()
     if name not in _BUILTIN_SUITES:
         raise ScenarioError(f"unknown suite {name!r}; available: {available_suites()}")
     return _BUILTIN_SUITES[name]()

@@ -163,6 +163,7 @@ def run_stream(
     record_steps: bool = True,
     on_step: Optional[Callable[[int, IncrementalStreamEvaluator, RollingStreamStats], Any]] = None,
     track_loads: bool = False,
+    churn_buckets: Optional[int] = None,
 ) -> StreamRunResult:
     """Replay ``stream`` through ``router`` under one rerouting policy.
 
@@ -206,6 +207,16 @@ def run_stream(
         Retain the raw per-edge load vectors in the rolling window
         (see :meth:`RollingStreamStats.windowed_mean_loads`); required
         by windowed demand estimation.
+    churn_buckets:
+        When set, quantize every resolved routing into a ``1/k`` ECMP
+        forwarding table (:func:`repro.forwarding.quantize_routing`)
+        and charge each re-solve its *forwarding-table churn* — the
+        number of (pair, node) next-hop sets that changed versus the
+        previously installed table (the first table counts in full).
+        Resolve steps gain a ``forwarding_churn`` record field and the
+        summary gains ``forwarding_churn`` / ``forwarding_rules`` /
+        ``churn_buckets`` keys; the default ``None`` leaves records and
+        artifacts bit-identical to previous releases.
     """
     if backend == "dict":
         raise StreamError(
@@ -238,6 +249,14 @@ def run_stream(
     forced_resolves = 0
     records: List[Dict[str, Any]] = []
     ratios: List[float] = []
+
+    if churn_buckets is not None:
+        # Imported on demand: the forwarding layer sits above the stream
+        # runner (same lazy pattern as the registry's realized scheme).
+        from repro.forwarding.quantize import forwarding_churn, quantize_routing
+    previous_table = None
+    churn_total = 0
+    step_churn: Optional[int] = None
 
     # Per-step spans would dominate short steps, so tracing aggregates
     # steps into one ``stream.interval`` span per installed routing
@@ -281,6 +300,13 @@ def run_stream(
                     forced = True
                     forced_resolves += 1
             if resolved:
+                if churn_buckets is not None:
+                    with trace_span("forwarding.churn", step=update.step) as churn_span:
+                        table = quantize_routing(routing, buckets=churn_buckets)
+                        step_churn = forwarding_churn(previous_table, table)
+                        churn_span.add("changed", step_churn)
+                    previous_table = table
+                    churn_total += step_churn
                 interval = trace_span("stream.interval", segment=segment)
                 segment += 1
                 interval.__enter__()
@@ -294,6 +320,8 @@ def run_stream(
             record["resolved"] = resolved
             if forced:
                 record["forced"] = True
+            if resolved and churn_buckets is not None:
+                record["forwarding_churn"] = step_churn
             if optimal is not None:
                 optimum = float(optimal(demand))
                 ratio = congestion_ratio(congestion, optimum)
@@ -312,6 +340,12 @@ def run_stream(
     summary = stats.summary()
     summary["num_resolves"] = policy.num_resolves
     summary["forced_resolves"] = forced_resolves
+    if churn_buckets is not None:
+        summary["churn_buckets"] = int(churn_buckets)
+        summary["forwarding_churn"] = churn_total
+        summary["forwarding_rules"] = (
+            previous_table.num_rules() if previous_table is not None else 0
+        )
     finite = [ratio for ratio in ratios if np.isfinite(ratio)]
     summary["mean_ratio"] = float(np.mean(finite)) if finite else None
     summary["worst_ratio"] = float(np.max(finite)) if finite else None
@@ -338,6 +372,7 @@ def run_stream_comparison(
     optimal_routing: Optional[Callable[[Demand], Any]] = None,
     record_steps: bool = True,
     track_loads: bool = False,
+    churn_buckets: Optional[int] = None,
 ) -> StreamComparison:
     """Replay one stream under several policies; identical traffic per policy.
 
@@ -383,6 +418,7 @@ def run_stream_comparison(
             optimal_routing=optimal_routing,
             record_steps=record_steps,
             track_loads=track_loads,
+            churn_buckets=churn_buckets,
         )
         result.stream = comparison.stream
         comparison.results[result.policy] = result

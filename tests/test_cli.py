@@ -183,6 +183,66 @@ def test_stream_run_unknown_stream_exits_2(capsys):
     assert len(err.strip().splitlines()) == 1
 
 
+def test_scenarios_run_unknown_executor_exits_2(capsys):
+    # The runner validates the executor (no argparse choices=), so
+    # unknown names exit 2 with the registered list on one stderr line.
+    assert main(["scenarios", "run", "--suite", "smoke", "--executor", "warp"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown executor" in err and "inline" in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_forwarding_quantize_table(capsys):
+    assert main([
+        "forwarding", "quantize", "--topology", "hypercube:3", "--buckets", "4",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "quantized" in out and "next-hop rules" in out
+
+
+def test_forwarding_gap_json_is_bit_identical(capsys):
+    args = ["forwarding", "gap", "--topology", "zoo(abilene)", "--buckets", "8",
+            "--flows", "32", "--json"]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    payload = json.loads(first)
+    assert payload["schema"] == "repro-forwarding/v1"
+    [row] = payload["rows"]
+    assert row["buckets"] == 8
+    assert row["gap"] == pytest.approx(
+        row["quantized_congestion"] / row["fractional_congestion"]
+    )
+    assert row["analytic"]["bins"] == 8
+
+
+def test_forwarding_realize_rejects_bucketless_scheme(capsys):
+    assert main([
+        "forwarding", "realize", "--topology", "hypercube:3",
+        "--scheme", "optimal",
+    ]) == 2
+    assert "does not materialize a routing" in capsys.readouterr().err
+
+
+def test_stream_run_churn_buckets_summary(capsys):
+    assert main([
+        "stream", "run", "--topology", "torus:3", "--steps", "6",
+        "--policy", "static", "--churn-buckets", "4", "--json", "--no-steps",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    summary = payload["policies"]["static"]["summary"]
+    assert summary["churn_buckets"] == 4
+    assert summary["forwarding_churn"] >= summary["forwarding_rules"] > 0
+
+
+def test_bench_list_includes_ecmp(capsys):
+    assert main(["bench", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "ecmp" in out and "fractional-vs-ECMP" in out
+
+
 def test_te_trace_writes_parseable_file(tmp_path, capsys):
     from repro.obs import load_trace, span_records, tracing_enabled
 

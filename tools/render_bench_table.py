@@ -38,6 +38,9 @@ def _workload_summary(workload) -> str:
         return f"{workload['num_estimations']} estimations"
     if "num_cells" in workload:
         return f"{workload['num_cells']} cells x {workload['workers']} workers"
+    if "buckets" in workload:
+        return (f"{workload['num_topologies']} topologies x "
+                f"{len(workload['buckets'])} bucket sizes")
     summary = f"{workload['num_demands']} demands"
     if "num_events" in workload:
         summary += f" x {workload['num_events']} failures"
@@ -64,6 +67,10 @@ def render(artifacts) -> str:
         )
         if speedup is not None:
             figure = f"**{speedup:.1f}x**"
+        elif "max_gap" in payload:
+            # Gap-style payloads (e.g. ``ecmp``) compare a fractional
+            # reference against a realized leg, not slow-vs-fast.
+            figure = f"{payload['max_gap']:.3f}x max gap"
         else:
             figure = f"{payload['overhead_enabled_pct']:+.1f}% overhead"
         lines.append(
