@@ -32,6 +32,11 @@ _EXACT_CACHE: Dict[Tuple[int, int, int], float] = {}
 #: ``method="auto"`` solves exactly up to this many (m, n) states.
 _DEFAULT_MAX_STATES = 250_000
 
+#: Largest ``n`` for which ``math.comb(n, t)`` is guaranteed to fit in a
+#: float (``C(1030, 515) > 1.8e308`` overflows); beyond it the recursion
+#: accumulates each term in log space via ``lgamma``.
+_COMB_DIRECT_MAX = 1000
+
 _METHOD_CHOICES = ("auto", "exact", "monte-carlo")
 
 
@@ -85,9 +90,19 @@ def _exact(bins: int, flows: int, limit: int) -> float:
                     tail = _EXACT_CACHE[(m - 1, rest, limit)]
                 if tail == 0.0:
                     continue
-                total += (
-                    math.comb(n, t) * (p**t) * ((1.0 - p) ** rest) * tail
-                )
+                if n <= _COMB_DIRECT_MAX:
+                    term = math.comb(n, t) * (p**t) * ((1.0 - p) ** rest)
+                else:
+                    # C(n, t) no longer fits in a float; the log-space
+                    # product never overflows and underflows gracefully.
+                    term = math.exp(
+                        math.lgamma(n + 1)
+                        - math.lgamma(t + 1)
+                        - math.lgamma(rest + 1)
+                        + t * math.log(p)
+                        + rest * math.log1p(-p)
+                    )
+                total += term * tail
             _EXACT_CACHE[(m, n, limit)] = total
     return _EXACT_CACHE[key]
 

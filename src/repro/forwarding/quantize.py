@@ -291,6 +291,13 @@ def _walk_paths(
     """
     results: Dict[Path, float] = {}
     stack: List[Tuple[Tuple[Vertex, ...], float]] = [((source,), 1.0)]
+    # Work bound on pushed prefixes, not frontier width: every arc leads
+    # to the target, so a DAG with at most ``max_paths`` complete walks
+    # pushes at most one prefix per (walk, node) — exceeding this budget
+    # proves the walk count exceeds ``max_paths`` without enumerating
+    # them all, while a wide-but-small DAG is never spuriously demoted.
+    work_limit = (max_paths + 1) * (len(splits) + 2)
+    pushed = 1
     while stack:
         prefix, weight = stack.pop()
         node = prefix[-1]
@@ -302,8 +309,9 @@ def _walk_paths(
         for successor, count in splits.get(node, ()):
             if count > 0:
                 stack.append((prefix + (successor,), weight * count / buckets))
-        if len(stack) > max_paths:
-            return None
+                pushed += 1
+                if pushed > work_limit:
+                    return None
     return results
 
 

@@ -331,6 +331,27 @@ class TestIntegration:
         assert len(result.max_utilizations) == 2
         assert all(np.isfinite(value) for value in result.max_utilizations)
 
+    def test_adaptive_inner_fresh_routings_are_requantized(self, cube3):
+        # Regression: the quantize cache was keyed on id(routing) without
+        # retaining the routing, and adaptive inners build a fresh
+        # Routing per route() — after the old object was freed, CPython
+        # could reuse its address (and _version collides at the pair
+        # count), silently serving the previous demand's table.  The
+        # cache must hold a strong reference and hit on live identity.
+        wrapped = build_router("realized(ksp(k=3), buckets=8)", cube3, rng=0)
+        wrapped.install()
+        solo = build_router("realized(ksp(k=3), buckets=8)", cube3, rng=0)
+        solo.install()
+        first = gravity_demand(cube3, total=8.0, rng=5)
+        second = gravity_demand(cube3, total=8.0, rng=6)
+        wrapped.route(first)
+        cached_routing = wrapped._cache[0]
+        assert cached_routing is not None  # strong reference retained
+        result = wrapped.route(second)
+        assert wrapped._cache[0] is not cached_routing
+        # A router that never saw `first` must agree on `second`.
+        assert result.congestion == pytest.approx(solo.route(second).congestion)
+
     def test_flow_seed_requires_install_and_optimal_is_rejected(self, cube3):
         router = build_router("ecmp(spf, buckets=4, flows=16)", cube3, rng=0)
         assert router.name == "realized[spf, k=4, flows=16]"
