@@ -18,6 +18,11 @@ Subcommands
         python -m repro te --topology hypercube:4 --snapshots 6 \
             --scheme "semi-oblivious(racke, alpha=4)" --scheme "ksp(k=4)" --scheme spf
         python -m repro te --topology waxman:14 --json
+        python -m repro te --topology "isp(pops=16, seed=3)" --scheme spf
+
+    Any registered scenario topology kind works here (and on every other
+    ``--topology`` flag), including the synthetic ISP-scale generators
+    ``isp(pops=...)`` and ``backbone:N``.
 
 ``scenarios``
     Declarative failure × demand × topology sweeps through the engine::
@@ -77,6 +82,7 @@ Subcommands
         python -m repro bench linalg --scale smoke
         python -m repro bench stream --scale small
         python -m repro bench net --scale smoke
+        python -m repro bench scale --scale small     # nodes-vs-seconds/peak-MB
         python -m repro bench --scale full --output-dir .
 
 ``forwarding``
@@ -224,17 +230,20 @@ def _cmd_experiments(ids: List[str], scale: str, seed: int, as_json: bool = Fals
 
 
 def _build_te_network(topology: str, seed: int):
-    """Parse ``name[:size]`` or a catalog name into a Network.
+    """Parse ``name[:size]``, spec shorthand, or a catalog name into a Network.
 
     Synthetic families: ``hypercube:4``, ``torus:4``, ``expander:12``,
     ``waxman:14``.  Real topologies come from the ingestion catalog:
-    ``zoo(abilene)``, ``zoo:abilene``, ``sndlib(geant)``.
+    ``zoo(abilene)``, ``zoo:abilene``, ``sndlib(geant)``.  Beyond those,
+    *any* registered scenario topology kind is addressable — including
+    the synthetic scale generators: ``isp(pops=16, seed=3)``,
+    ``backbone:2000`` (``name:size`` is shorthand for ``name(size)``).
     """
     from repro.graphs import topologies
     from repro.graphs.generators import waxman_isp
 
     name, _, size_text = topology.partition(":")
-    if "(" in name or name in ("zoo", "sndlib"):
+    if name.startswith(("zoo", "sndlib")):
         from repro.exceptions import NetError
         from repro.net import load_network
 
@@ -243,11 +252,14 @@ def _build_te_network(topology: str, seed: int):
         except NetError as error:
             print(str(error), file=sys.stderr)
             raise SystemExit(2)
-    try:
-        size = int(size_text) if size_text else None
-    except ValueError:
-        print(f"topology size must be an integer, got {topology!r}", file=sys.stderr)
-        raise SystemExit(2)
+    if ":" in topology:
+        try:
+            size = int(size_text) if size_text else None
+        except ValueError:
+            print(f"topology size must be an integer, got {topology!r}", file=sys.stderr)
+            raise SystemExit(2)
+    else:
+        size = None
     if name == "hypercube":
         return topologies.hypercube(size if size is not None else 4)
     if name == "torus":
@@ -256,12 +268,33 @@ def _build_te_network(topology: str, seed: int):
         return topologies.random_regular_expander(size if size is not None else 12, rng=seed)
     if name == "waxman":
         return waxman_isp(size if size is not None else 14, rng=seed)
-    print(
-        f"unknown topology {topology!r} (use hypercube:K, torus:K, expander:N, "
-        f"waxman:N, or a catalog name like zoo(abilene) / sndlib(geant))",
-        file=sys.stderr,
+    # Anything else resolves through the scenario topology-kind registry
+    # (fat-tree, grid, clique, and the synth scale kinds isp/backbone),
+    # so every CLI accepts every registered kind without a bespoke branch.
+    from repro.exceptions import GraphError
+    from repro.scenarios.spec import (
+        ScenarioError,
+        TopologySpec,
+        available_topology_kinds,
     )
-    raise SystemExit(2)
+
+    if "(" in topology:
+        spec_text = topology
+    elif size is not None:
+        spec_text = f"{name}({size})"
+    else:
+        spec_text = name
+    try:
+        spec = TopologySpec.from_string(spec_text)
+    except (ScenarioError, GraphError) as error:
+        print(
+            f"invalid topology {topology!r}: {error}\n"
+            f"registered kinds: {available_topology_kinds()} "
+            f"(plus catalog names like zoo(abilene) / sndlib(geant))",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return spec.build(rng=seed)
 
 
 def _cmd_te(
@@ -1026,7 +1059,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     te_parser = subparsers.add_parser("te", help="traffic-engineering simulation via scheme specs")
     te_parser.add_argument("--topology", default="waxman:14",
-                           help="hypercube:K, torus:K, expander:N or waxman:N (default waxman:14)")
+                           help="any registered topology kind: hypercube:K, torus:K, waxman:N, "
+                                "isp(pops=P), backbone:N, ... (default waxman:14)")
     te_parser.add_argument("--scheme", action="append", default=[], dest="schemes",
                            help="scheme spec, repeatable (default: the SMORE line-up)")
     te_parser.add_argument("--snapshots", type=int, default=4)
@@ -1091,7 +1125,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     stream_describe.add_argument("name", help="stream or policy name (see 'stream list')")
     stream_run = stream_sub.add_parser("run", help="replay a stream and print the policy table")
     stream_run.add_argument("--topology", default="torus:5",
-                            help="hypercube:K, torus:K, expander:N or waxman:N (default torus:5)")
+                            help="any registered topology kind: hypercube:K, torus:K, waxman:N, "
+                                 "isp(pops=P), backbone:N, ... (default torus:5)")
     stream_run.add_argument("--stream", default="random-walk", dest="stream_kind",
                             help="stream kind (see 'stream list'; default random-walk)")
     stream_run.add_argument("--steps", type=int, default=64,
@@ -1194,7 +1229,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     def _forwarding_common(sub):
         sub.add_argument("--topology", default="zoo(abilene)",
-                         help="synthetic (hypercube:K, torus:K, ...) or catalog "
+                         help="synthetic (hypercube:K, isp(pops=P), ...) or catalog "
                               "name (default zoo(abilene))")
         sub.add_argument("--scheme", default="oblivious(ksp, k=4)",
                          help="scheme whose routing is realized "

@@ -162,7 +162,7 @@ class Routing:
                 weighted.append((path, amount * probability))
         return weighted
 
-    def evaluator(self, backend: str = "dict"):
+    def evaluator(self, backend: str = "dict", tile_pairs=None, memory_budget_mb=None):
         """The cached evaluation backend for this routing.
 
         ``backend`` is ``"dict"`` (reference loops with a shared
@@ -172,6 +172,10 @@ class Routing:
         per backend and invalidated when a distribution changes, so a
         (routing, demand) pair is evaluated once however many metrics
         ask for it.  See :mod:`repro.linalg`.
+
+        ``tile_pairs`` / ``memory_budget_mb`` request memory-bounded
+        tiled evaluation on the compiled backends (cached separately per
+        knob combination; see :mod:`repro.linalg.tiled`).
         """
         if backend != "dict":
             # "auto"/"sparse"/"dense" can resolve to the same compiled
@@ -179,12 +183,19 @@ class Routing:
             from repro.linalg._matrix import resolve_representation
 
             backend = resolve_representation(backend)
-        evaluator = self._evaluators.get(backend)
+        key = (
+            backend
+            if tile_pairs is None and memory_budget_mb is None
+            else (backend, tile_pairs, memory_budget_mb)
+        )
+        evaluator = self._evaluators.get(key)
         if evaluator is None:
             from repro.linalg.evaluator import build_evaluator
 
-            evaluator = build_evaluator(self, backend)
-            self._evaluators[backend] = evaluator
+            evaluator = build_evaluator(
+                self, backend, tile_pairs=tile_pairs, memory_budget_mb=memory_budget_mb
+            )
+            self._evaluators[key] = evaluator
         return evaluator
 
     def attach_evaluator(self, backend: str, evaluator: object) -> None:

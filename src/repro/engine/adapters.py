@@ -254,6 +254,13 @@ class FixedRatioRouter(BaseRouter):
     fast path when many demands stream through the same routing).  It
     may be reassigned between routes; the compiled forms are cached on
     the routing itself.
+
+    ``tile_pairs`` / ``memory_budget_mb`` bound the peak memory of the
+    compiled backends by tiling the pair dimension (see
+    :mod:`repro.linalg.tiled`); they are ignored on the ``dict``
+    backend, which holds no matrices to tile.  Like ``backend``, both
+    may be reassigned between routes (typically pinned engine-wide via
+    ``RoutingEngine(..., memory_budget_mb=...)``).
     """
 
     def __init__(
@@ -262,11 +269,15 @@ class FixedRatioRouter(BaseRouter):
         builder: ObliviousRoutingBuilder,
         name: str = "oblivious",
         backend: str = "dict",
+        tile_pairs: Optional[int] = None,
+        memory_budget_mb: Optional[float] = None,
     ) -> None:
         super().__init__(network, name)
         self._builder = builder
         self._routing: Optional[Routing] = None
         self.backend = backend
+        self.tile_pairs = tile_pairs
+        self.memory_budget_mb = memory_budget_mb
 
     @property
     def builder(self) -> ObliviousRoutingBuilder:
@@ -287,9 +298,19 @@ class FixedRatioRouter(BaseRouter):
                 raise RoutingError(
                     f"router {self.name!r} was installed without pair {(source, target)!r}"
                 )
+        if self.backend == "dict" or (
+            self.tile_pairs is None and self.memory_budget_mb is None
+        ):
+            evaluator = self._routing.evaluator(self.backend)
+        else:
+            evaluator = self._routing.evaluator(
+                self.backend,
+                tile_pairs=self.tile_pairs,
+                memory_budget_mb=self.memory_budget_mb,
+            )
         return RouteResult(
             scheme=self.name,
-            congestion=self._routing.evaluator(self.backend).congestion(demand),
+            congestion=evaluator.congestion(demand),
             routing=self._routing,
             method="fixed",
         )

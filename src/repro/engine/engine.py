@@ -144,6 +144,8 @@ class RoutingEngine:
         rng: RngLike = None,
         cut_cache: Optional[CutCache] = None,
         backend: Optional[str] = None,
+        tile_pairs: Optional[int] = None,
+        memory_budget_mb: Optional[float] = None,
     ) -> None:
         self._network = network
         self._rng = ensure_rng(rng)
@@ -152,6 +154,8 @@ class RoutingEngine:
         self._pairs: Optional[List[Pair]] = None
         self._installed = False
         self._backend = backend
+        self._tile_pairs = tile_pairs
+        self._memory_budget_mb = memory_budget_mb
         if isinstance(schemes, Mapping):
             for label, spec in schemes.items():
                 self.add_scheme(spec, label=label)
@@ -174,6 +178,16 @@ class RoutingEngine:
     def backend(self) -> Optional[str]:
         """Engine-wide evaluation backend (``None`` = per-scheme defaults)."""
         return self._backend
+
+    @property
+    def tile_pairs(self) -> Optional[int]:
+        """Engine-wide pair-tile width for compiled evaluation (``None`` = untiled)."""
+        return self._tile_pairs
+
+    @property
+    def memory_budget_mb(self) -> Optional[float]:
+        """Engine-wide evaluation memory budget in MB (``None`` = unbounded)."""
+        return self._memory_budget_mb
 
     @property
     def routers(self) -> Dict[str, Router]:
@@ -208,6 +222,16 @@ class RoutingEngine:
             # pin a backend: the more specific setting wins, and pre-built
             # Router instances (the most specific form) are never touched.
             router.backend = self._backend
+        if (
+            (self._tile_pairs is not None or self._memory_budget_mb is not None)
+            and isinstance(spec, (str, Mapping, SchemeSpec))
+            and hasattr(router, "tile_pairs")
+        ):
+            # Memory-bounded tiled evaluation is engine-wide policy:
+            # pinned onto every spec-built router that evaluates through
+            # the compiled backends (same specificity rule as backend).
+            router.tile_pairs = self._tile_pairs
+            router.memory_budget_mb = self._memory_budget_mb
         label = label if label is not None else router.name
         if label in self._routers:
             raise SchemeError(f"engine already has a scheme labelled {label!r}")

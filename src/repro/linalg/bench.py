@@ -272,6 +272,7 @@ _EXTERNAL_BENCH_MODULES = (
     "repro.scenarios.bench",
     "repro.obs.bench",
     "repro.forwarding.bench",
+    "repro.synth.bench",
 )
 
 

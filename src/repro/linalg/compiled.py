@@ -35,6 +35,7 @@ import numpy as np
 from repro.exceptions import GraphError, LinalgError, RoutingError
 from repro.graphs.network import Edge, Network, Path, Vertex, path_edges
 from repro.linalg._matrix import build_matrix, resolve_representation, to_dense
+from repro.linalg.tiled import TilePlan, plan_pair_tiles
 from repro.obs import trace_span
 
 Pair = Tuple[Vertex, Vertex]
@@ -63,6 +64,53 @@ def _pair_edge_matrix(path_pair, path_prob, inc_rows, inc_cols, shape, represent
     )
 
 
+class _ChunkedIndices:
+    """Append-only scalar accumulator flushing into numpy chunks.
+
+    The compile loop appends one entry per path plus one per hop; plain
+    Python lists hold boxed objects (~56 bytes per int), which at 1k+
+    node pair counts dwarfs the 8-byte array entries they become.
+    Flushing every ``chunk`` appends keeps the Python-object working set
+    bounded while the final concatenate yields exactly the array a
+    single giant list would have.
+    """
+
+    __slots__ = ("_dtype", "_chunk", "_chunks", "_buffer", "count")
+
+    def __init__(self, dtype, chunk: int = 1 << 16) -> None:
+        self._dtype = dtype
+        self._chunk = chunk
+        self._chunks: List[np.ndarray] = []
+        self._buffer: List = []
+        self.count = 0
+
+    def append(self, value) -> None:
+        self._buffer.append(value)
+        self.count += 1
+        if len(self._buffer) >= self._chunk:
+            self._flush()
+
+    def extend(self, values) -> None:
+        before = len(self._buffer)
+        self._buffer.extend(values)
+        self.count += len(self._buffer) - before
+        if len(self._buffer) >= self._chunk:
+            self._flush()
+
+    def _flush(self) -> None:
+        if self._buffer:
+            self._chunks.append(np.asarray(self._buffer, dtype=self._dtype))
+            self._buffer = []
+
+    def finalize(self) -> np.ndarray:
+        self._flush()
+        if not self._chunks:
+            return np.asarray([], dtype=self._dtype)
+        if len(self._chunks) == 1:
+            return self._chunks[0]
+        return np.concatenate(self._chunks)
+
+
 class CompiledRouting:
     """Immutable array form of a routing: index arrays + sparse operators.
 
@@ -86,6 +134,8 @@ class CompiledRouting:
         covered: np.ndarray,
         representation: str,
         incidence_holder: Optional[Dict[str, object]] = None,
+        tile_pairs: Optional[int] = None,
+        memory_budget_mb: Optional[float] = None,
     ) -> None:
         self._network = network
         self._pairs = pairs
@@ -102,8 +152,14 @@ class CompiledRouting:
         self._pair_max_hops = pair_max_hops
         self._covered = covered
         self._representation = representation
+        # Pair-dimension tiling knobs (None/None = untiled).  Validated
+        # eagerly so a bad knob fails at construction, not mid-batch.
+        plan_pair_tiles(0, 0, tile_pairs=tile_pairs, memory_budget_mb=memory_budget_mb)
+        self._tile_pairs = tile_pairs
+        self._memory_budget_mb = memory_budget_mb
         # Rebased instances share this holder: the incidence matrix is
-        # identical across rebases, so it is built at most once.
+        # identical across rebases, so it is built at most once (the
+        # sortedness flag of the index arrays is shared the same way).
         self._incidence_holder = {} if incidence_holder is None else incidence_holder
         self._rebase_cache: "OrderedDict[object, CompiledRouting]" = OrderedDict()
 
@@ -111,59 +167,94 @@ class CompiledRouting:
     # Compilation
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_routing(cls, routing, representation: str = "auto") -> "CompiledRouting":
+    def from_routing(
+        cls,
+        routing,
+        representation: str = "auto",
+        tile_pairs: Optional[int] = None,
+        memory_budget_mb: Optional[float] = None,
+    ) -> "CompiledRouting":
         """Compile ``routing`` (index arrays built once, in canonical order).
 
         ``representation`` selects the matrix storage: ``"sparse"``
         (scipy CSR), ``"dense"`` (plain numpy), or ``"auto"`` (sparse
         when scipy is importable, dense otherwise).
+
+        ``tile_pairs`` / ``memory_budget_mb`` switch the instance into
+        memory-bounded *tiled* evaluation: the full pair × edge operator
+        is never materialized; instead, every evaluation streams over
+        pair-row tiles (see :mod:`repro.linalg.tiled`), built on the fly
+        from the incidence triplets.  Results agree with the untiled
+        path within float summation-order noise (≤ 1e-9).
         """
         representation = resolve_representation(representation)
         network: Network = routing.network
         with trace_span("linalg.compile", representation=representation) as span:
-            return cls._compile(routing, network, representation, span)
+            return cls._compile(
+                routing, network, representation, span,
+                tile_pairs=tile_pairs, memory_budget_mb=memory_budget_mb,
+            )
 
     @classmethod
-    def _compile(cls, routing, network, representation: str, span) -> "CompiledRouting":
+    def _compile(
+        cls,
+        routing,
+        network,
+        representation: str,
+        span,
+        tile_pairs: Optional[int] = None,
+        memory_budget_mb: Optional[float] = None,
+    ) -> "CompiledRouting":
         pairs: Tuple[Pair, ...] = tuple(sorted(routing.pairs(), key=repr))
         num_pairs = len(pairs)
         num_edges = network.num_edges
+        tiling = tile_pairs is not None or memory_budget_mb is not None
 
-        path_pair: List[int] = []
-        path_prob: List[float] = []
-        path_hops: List[int] = []
-        inc_rows: List[int] = []
-        inc_cols: List[int] = []
+        # Streaming accumulation: per-path scalars flush into bounded
+        # numpy chunks instead of growing one giant boxed-object list
+        # (the first thing that falls over at 1k+ nodes; see ROADMAP
+        # for the remaining construction hot loops upstream of here).
+        path_pair = _ChunkedIndices(np.int64)
+        path_prob = _ChunkedIndices(float)
+        path_hops = _ChunkedIndices(np.int64)
+        inc_rows = _ChunkedIndices(np.int64)
+        inc_cols = _ChunkedIndices(np.int64)
         pair_max_hops = np.zeros(num_pairs, dtype=np.int64)
+        edge_index = network.edge_index
         for pair_idx, (source, target) in enumerate(pairs):
             for path, probability in routing.distribution(source, target).items():
                 if probability <= 0:
                     continue
-                path_idx = len(path_pair)
+                path_idx = path_pair.count
                 path_pair.append(pair_idx)
                 path_prob.append(float(probability))
                 hops = len(path) - 1
                 path_hops.append(hops)
                 pair_max_hops[pair_idx] = max(pair_max_hops[pair_idx], hops)
-                for edge in path_edges(path):
-                    inc_rows.append(path_idx)
-                    inc_cols.append(network.edge_index(*edge))
-        path_pair_arr = np.asarray(path_pair, dtype=np.int64)
-        path_prob_arr = np.asarray(path_prob, dtype=float)
-        inc_rows_arr = np.asarray(inc_rows, dtype=np.int64)
-        inc_cols_arr = np.asarray(inc_cols, dtype=np.int64)
+                columns = [edge_index(*edge) for edge in path_edges(path)]
+                inc_rows.extend([path_idx] * len(columns))
+                inc_cols.extend(columns)
+        path_pair_arr = path_pair.finalize()
+        path_prob_arr = path_prob.finalize()
+        inc_rows_arr = inc_rows.finalize()
+        inc_cols_arr = inc_cols.finalize()
         span.add("pairs", num_pairs)
-        span.add("paths", len(path_pair))
-        span.add("nnz", len(inc_rows))
+        span.add("paths", len(path_pair_arr))
+        span.add("nnz", len(inc_rows_arr))
+        span.set("tiled", tiling)
 
         # Build M = D @ A directly from the incidence triplets: entry
         # (pair_of_path, edge) accumulates the path's probability.  This
         # never materializes D (num_pairs × num_paths) or A — which in
-        # the dense fallback would be quadratic-size allocations.
-        pair_edge = _pair_edge_matrix(
-            path_pair_arr, path_prob_arr, inc_rows_arr, inc_cols_arr,
-            (num_pairs, num_edges), representation,
-        )
+        # the dense fallback would be quadratic-size allocations.  With
+        # tiling knobs set, even M stays implicit: evaluation rebuilds
+        # one pair-row tile at a time from the triplets.
+        pair_edge = None
+        if not tiling:
+            pair_edge = _pair_edge_matrix(
+                path_pair_arr, path_prob_arr, inc_rows_arr, inc_cols_arr,
+                (num_pairs, num_edges), representation,
+            )
         capacities = np.array([network.capacity_of(edge) for edge in network.edges], dtype=float)
         return cls(
             network=network,
@@ -171,13 +262,15 @@ class CompiledRouting:
             capacities=capacities,
             path_pair=path_pair_arr,
             path_prob=path_prob_arr,
-            path_hops=np.asarray(path_hops, dtype=np.int64),
+            path_hops=path_hops.finalize(),
             inc_rows=inc_rows_arr,
             inc_cols=inc_cols_arr,
             pair_edge=pair_edge,
             pair_max_hops=pair_max_hops,
             covered=np.ones(num_pairs, dtype=bool),
             representation=representation,
+            tile_pairs=tile_pairs,
+            memory_budget_mb=memory_budget_mb,
         )
 
     # ------------------------------------------------------------------ #
@@ -207,7 +300,11 @@ class CompiledRouting:
             "pair_max_hops": self._pair_max_hops,
             "covered": self._covered,
         }
-        if self._representation == "sparse":
+        if self._pair_edge is None:
+            # Tiled compiles never materialized the operator; the index
+            # arrays above are the complete evaluation state.
+            pass
+        elif self._representation == "sparse":
             operator = self._pair_edge
             arrays["operator_data"] = np.asarray(operator.data)
             arrays["operator_indices"] = np.asarray(operator.indices)
@@ -218,6 +315,9 @@ class CompiledRouting:
             "representation": self._representation,
             "pairs": self._pairs,
             "operator_shape": (self.num_pairs, self.num_edges),
+            "operator_materialized": self._pair_edge is not None,
+            "tile_pairs": self._tile_pairs,
+            "memory_budget_mb": self._memory_budget_mb,
         }
         return metadata, arrays
 
@@ -240,7 +340,9 @@ class CompiledRouting:
         """
         representation = str(metadata["representation"])
         shape = tuple(metadata["operator_shape"])  # type: ignore[arg-type]
-        if representation == "sparse":
+        if not metadata.get("operator_materialized", True):
+            pair_edge = None
+        elif representation == "sparse":
             from scipy import sparse as scipy_sparse  # deferred: dense leg has no scipy
 
             pair_edge = scipy_sparse.csr_matrix(
@@ -263,6 +365,8 @@ class CompiledRouting:
             pair_max_hops=np.asarray(arrays["pair_max_hops"]),
             covered=np.asarray(arrays["covered"]),
             representation=representation,
+            tile_pairs=metadata.get("tile_pairs"),
+            memory_budget_mb=metadata.get("memory_budget_mb"),
         )
 
     # ------------------------------------------------------------------ #
@@ -345,8 +449,154 @@ class CompiledRouting:
 
     @property
     def pair_edge_operator(self):
-        """``distribution @ incidence``: unit-demand edge loads per pair."""
+        """``distribution @ incidence``: unit-demand edge loads per pair.
+
+        On tiled instances the operator is *not* kept around — this
+        property materializes (and caches) the full matrix on demand as
+        an introspection escape hatch, defeating the memory bound for
+        this instance.  Evaluation never calls it; use
+        :meth:`operator_tile` for bounded access.
+        """
+        if self._pair_edge is None:
+            self._pair_edge = _pair_edge_matrix(
+                self._path_pair, self._path_prob, self._inc_rows, self._inc_cols,
+                (self.num_pairs, self.num_edges), self._representation,
+            )
         return self._pair_edge
+
+    # ------------------------------------------------------------------ #
+    # Pair-dimension tiling
+    # ------------------------------------------------------------------ #
+    @property
+    def tile_pairs(self) -> Optional[int]:
+        """Configured fixed tile width (None = derive from budget/untiled)."""
+        return self._tile_pairs
+
+    @property
+    def memory_budget_mb(self) -> Optional[float]:
+        """Configured per-evaluation working-set budget in MB (None = unbounded)."""
+        return self._memory_budget_mb
+
+    @property
+    def operator_materialized(self) -> bool:
+        """True when the full pair × edge operator is held in memory."""
+        return self._pair_edge is not None
+
+    def tile_plan(
+        self,
+        batch_rows: int = 1,
+        tile_pairs: Optional[int] = None,
+        memory_budget_mb: Optional[float] = None,
+    ) -> TilePlan:
+        """The pair-tiling plan for a ``batch_rows``-demand evaluation.
+
+        Per-call knobs override the instance knobs; with neither set the
+        plan is one tile (the untiled fast path).
+        """
+        tile_pairs = tile_pairs if tile_pairs is not None else self._tile_pairs
+        if memory_budget_mb is None:
+            memory_budget_mb = self._memory_budget_mb
+        nnz_per_pair = (
+            len(self._inc_rows) / self.num_pairs if self.num_pairs else None
+        )
+        return plan_pair_tiles(
+            self.num_pairs,
+            self.num_edges,
+            representation=self._representation,
+            batch_rows=batch_rows,
+            tile_pairs=tile_pairs,
+            memory_budget_mb=memory_budget_mb,
+            nnz_per_pair=nnz_per_pair,
+        )
+
+    def _indices_sorted(self) -> bool:
+        """True when ``path_pair`` and ``inc_rows`` are nondecreasing.
+
+        :meth:`_compile` guarantees this by construction (pairs are
+        visited in row order, incidence entries in path order), which
+        lets :meth:`operator_tile` slice the triplets with two binary
+        searches; arrays attached via :meth:`from_arrays` are checked
+        once and fall back to mask selection if foreign.
+        """
+        flag = self._incidence_holder.get("indices_sorted")
+        if flag is None:
+            flag = bool(np.all(np.diff(self._path_pair) >= 0)) and bool(
+                np.all(np.diff(self._inc_rows) >= 0)
+            )
+            self._incidence_holder["indices_sorted"] = flag
+        return flag
+
+    def operator_tile(self, start: int, stop: int):
+        """Rows ``[start, stop)`` of the pair × edge operator.
+
+        Built from the incidence triplets without touching the full
+        operator — a ``(stop - start) × num_edges`` matrix in the
+        compiled representation.  When the full operator happens to be
+        materialized, this is a plain row slice.
+        """
+        if not (0 <= start <= stop <= self.num_pairs):
+            raise LinalgError(
+                f"operator tile [{start}, {stop}) out of range for {self.num_pairs} pairs"
+            )
+        if self._pair_edge is not None:
+            return self._pair_edge[start:stop]
+        if self._indices_sorted():
+            path_lo, path_hi = np.searchsorted(self._path_pair, (start, stop), side="left")
+            inc_lo, inc_hi = np.searchsorted(self._inc_rows, (path_lo, path_hi), side="left")
+            rows_sel = self._inc_rows[inc_lo:inc_hi]
+            cols_sel = self._inc_cols[inc_lo:inc_hi]
+        else:
+            entry_pair = self._path_pair[self._inc_rows]
+            mask = (entry_pair >= start) & (entry_pair < stop)
+            rows_sel = self._inc_rows[mask]
+            cols_sel = self._inc_cols[mask]
+        weights = self._path_prob[rows_sel]
+        keep = weights > 0
+        return build_matrix(
+            self._path_pair[rows_sel[keep]] - start,
+            cols_sel[keep],
+            weights[keep],
+            (stop - start, self.num_edges),
+            self._representation,
+        )
+
+    def _streamed_loads(self, batch, plan: TilePlan) -> np.ndarray:
+        """``to_dense(batch @ M)`` as a streamed sum over pair tiles.
+
+        Holds one operator tile plus the (batch × edge) accumulator at a
+        time; each tile is released before the next is built, so peak
+        memory follows the plan's budget instead of the pair count.
+        """
+        num_rows = batch.shape[0]
+        loads = np.zeros((num_rows, self.num_edges), dtype=float)
+        if num_rows == 0 or plan.num_tiles == 0:
+            return loads
+        columns = batch
+        if hasattr(batch, "tocsc"):
+            # CSR column slicing is O(nnz) per tile; one CSC conversion
+            # up front makes every column slice cheap.
+            columns = batch.tocsc()
+        with trace_span(
+            "linalg.tiled_evaluate", tiles=plan.num_tiles, tile_pairs=plan.tile_pairs
+        ) as span:
+            span.add("demands", num_rows)
+            for start, stop in plan.tiles():
+                tile = self.operator_tile(start, stop)
+                loads += to_dense(columns[:, start:stop] @ tile)
+                del tile
+        return loads
+
+    def _vector_loads(self, vector: np.ndarray) -> np.ndarray:
+        """Per-edge loads of one dense demand vector (tiled when lean)."""
+        plan = self.tile_plan(batch_rows=1)
+        if plan.is_single_tile and self._pair_edge is not None:
+            return np.asarray(vector @ self._pair_edge, dtype=float).ravel()
+        loads = np.zeros(self.num_edges, dtype=float)
+        for start, stop in plan.tiles():
+            tile = self.operator_tile(start, stop)
+            loads += np.asarray(vector[start:stop] @ tile, dtype=float).ravel()
+            del tile
+        return loads
 
     def is_covered(self, source: Vertex, target: Vertex) -> bool:
         """True when the pair still has at least one (surviving) path."""
@@ -422,14 +672,14 @@ class CompiledRouting:
     def edge_load_vector(self, demand, missing: str = "error") -> np.ndarray:
         """Raw per-edge loads (network edge-index order) for one demand."""
         vector = self.demand_vector(demand, missing=missing)
-        return np.asarray(vector @ self._pair_edge, dtype=float).ravel()
+        return self._vector_loads(vector)
 
     def congestion(self, demand, missing: str = "error") -> float:
         """``cong(R, d)``; infinite when a demanded pair lost every path."""
         vector = self.demand_vector(demand, missing=missing)
         if self._has_uncovered(vector):
             return float("inf")
-        loads = np.asarray(vector @ self._pair_edge, dtype=float).ravel()
+        loads = self._vector_loads(vector)
         if not loads.size:
             return 0.0
         return float(np.max(loads / self._capacities, initial=0.0))
@@ -457,25 +707,55 @@ class CompiledRouting:
     # ------------------------------------------------------------------ #
     # Evaluation: demand batches
     # ------------------------------------------------------------------ #
-    def edge_load_matrix(self, demands: Sequence, missing: str = "error") -> np.ndarray:
-        """(batch × edge) dense edge-load array: one sparse matmul."""
+    def edge_load_matrix(
+        self,
+        demands: Sequence,
+        missing: str = "error",
+        tile_pairs: Optional[int] = None,
+        memory_budget_mb: Optional[float] = None,
+    ) -> np.ndarray:
+        """(batch × edge) dense edge-load array: one (possibly tiled) matmul."""
         batch = self.demand_matrix(demands, missing=missing)
-        return to_dense(batch @ self._pair_edge)
+        plan = self.tile_plan(
+            batch_rows=batch.shape[0],
+            tile_pairs=tile_pairs,
+            memory_budget_mb=memory_budget_mb,
+        )
+        if plan.is_single_tile and self._pair_edge is not None:
+            return to_dense(batch @ self._pair_edge)
+        return self._streamed_loads(batch, plan)
 
     def congestions(self, demands: Sequence, missing: str = "error") -> np.ndarray:
         """Per-demand max congestion over one batched evaluation."""
         return self.congestions_from_matrix(self.demand_matrix(demands, missing=missing))
 
-    def congestions_from_matrix(self, batch) -> np.ndarray:
+    def congestions_from_matrix(
+        self,
+        batch,
+        tile_pairs: Optional[int] = None,
+        memory_budget_mb: Optional[float] = None,
+    ) -> np.ndarray:
         """Per-demand max congestion for an already-vectorized batch.
 
         ``batch`` is a (batch × pair) matrix over *this* pair indexing —
         typically built once via :meth:`demand_matrix` and reused across
         the rebased operators of many failure events (the pair index is
         shared, so no re-vectorization is needed per event).
+
+        ``tile_pairs`` / ``memory_budget_mb`` override the instance
+        tiling knobs for this call; the default follows the instance
+        configuration (untiled when no knobs were set at compile time).
         """
         num_demands = batch.shape[0]
-        loads = to_dense(batch @ self._pair_edge)
+        plan = self.tile_plan(
+            batch_rows=num_demands,
+            tile_pairs=tile_pairs,
+            memory_budget_mb=memory_budget_mb,
+        )
+        if plan.is_single_tile and self._pair_edge is not None:
+            loads = to_dense(batch @ self._pair_edge)
+        else:
+            loads = self._streamed_loads(batch, plan)
         if not loads.size:
             return np.zeros(num_demands, dtype=float)
         results = np.max(loads / self._capacities[np.newaxis, :], axis=1, initial=0.0)
@@ -550,10 +830,14 @@ class CompiledRouting:
         )
 
         live = new_prob > 0
-        pair_edge = _pair_edge_matrix(
-            self._path_pair, new_prob, self._inc_rows, self._inc_cols,
-            (self.num_pairs, self.num_edges), self._representation,
-        )
+        # Tiled instances stay lean through a rebase: the renormalized
+        # probabilities are all the tile construction needs.
+        pair_edge = None
+        if self._tile_pairs is None and self._memory_budget_mb is None:
+            pair_edge = _pair_edge_matrix(
+                self._path_pair, new_prob, self._inc_rows, self._inc_cols,
+                (self.num_pairs, self.num_edges), self._representation,
+            )
 
         pair_max_hops = np.zeros(self.num_pairs, dtype=np.int64)
         if np.any(live):
@@ -589,12 +873,20 @@ class CompiledRouting:
             covered=covered,
             representation=self._representation,
             incidence_holder=self._incidence_holder,
+            tile_pairs=self._tile_pairs,
+            memory_budget_mb=self._memory_budget_mb,
         )
 
     def __repr__(self) -> str:
+        tiling = ""
+        if self._tile_pairs is not None or self._memory_budget_mb is not None:
+            tiling = (
+                f", tile_pairs={self._tile_pairs}, "
+                f"memory_budget_mb={self._memory_budget_mb}"
+            )
         return (
             f"CompiledRouting(pairs={self.num_pairs}, paths={self.num_paths}, "
-            f"edges={self.num_edges}, representation={self._representation!r})"
+            f"edges={self.num_edges}, representation={self._representation!r}{tiling})"
         )
 
 

@@ -203,9 +203,27 @@ class SparseEvaluator:
         self._source_version = getattr(source_routing, "_version", 0)
 
     @classmethod
-    def from_routing(cls, routing, representation: str = "auto") -> "SparseEvaluator":
+    def from_routing(
+        cls,
+        routing,
+        representation: str = "auto",
+        tile_pairs: Optional[int] = None,
+        memory_budget_mb: Optional[float] = None,
+    ) -> "SparseEvaluator":
+        """Compile and wrap ``routing``.
+
+        ``tile_pairs`` / ``memory_budget_mb`` enable memory-bounded
+        tiled evaluation (see :meth:`CompiledRouting.from_routing`): the
+        pair × edge operator stays implicit and every batch streams over
+        fixed-budget pair tiles.  The knobs survive :meth:`rebased`.
+        """
         return cls(
-            CompiledRouting.from_routing(routing, representation=representation),
+            CompiledRouting.from_routing(
+                routing,
+                representation=representation,
+                tile_pairs=tile_pairs,
+                memory_budget_mb=memory_budget_mb,
+            ),
             source_routing=routing,
         )
 
@@ -281,17 +299,39 @@ class SparseEvaluator:
         return f"SparseEvaluator(backend={self.backend!r}, compiled={self._compiled!r})"
 
 
-def build_evaluator(routing, backend: str = "auto") -> Evaluator:
+def build_evaluator(
+    routing,
+    backend: str = "auto",
+    tile_pairs: Optional[int] = None,
+    memory_budget_mb: Optional[float] = None,
+) -> Evaluator:
     """Construct an evaluation backend for ``routing``.
 
     ``backend`` is one of ``"dict"`` (reference loops), ``"sparse"``
     (scipy CSR, dense fallback), ``"dense"`` (pure numpy), or ``"auto"``
     (the fastest available compiled form).
+
+    ``tile_pairs`` / ``memory_budget_mb`` bound the peak memory of
+    batched evaluation on the compiled backends by streaming over
+    pair-dimension tiles (:mod:`repro.linalg.tiled`); they are a
+    compiled-backend contract — the dict reference holds no matrices,
+    so combining them with ``backend="dict"`` raises
+    :class:`LinalgError` instead of silently ignoring the bound.
     """
     if backend == "dict":
+        if tile_pairs is not None or memory_budget_mb is not None:
+            raise LinalgError(
+                "tiling knobs (tile_pairs/memory_budget_mb) require a compiled "
+                "backend; the dict reference evaluator holds no operator to tile"
+            )
         return DictEvaluator(routing)
     if backend in ("sparse", "dense", "auto"):
-        return SparseEvaluator.from_routing(routing, representation=backend)
+        return SparseEvaluator.from_routing(
+            routing,
+            representation=backend,
+            tile_pairs=tile_pairs,
+            memory_budget_mb=memory_budget_mb,
+        )
     raise LinalgError(
         f"unknown evaluation backend {backend!r}; available: {available_backends()}"
     )

@@ -72,6 +72,7 @@ _EXTENSION_AXIS_MODULES = (
     "repro.net.scenario_axes",
     "repro.telemetry.scenario_axes",
     "repro.forwarding.scenario_axes",
+    "repro.synth.scenario_axes",
 )
 _extension_axes_loaded = False
 

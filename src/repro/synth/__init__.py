@@ -1,0 +1,32 @@
+"""Scale-frontier synthetic topologies (the ``repro.synth`` layer).
+
+Seeded ISP-like generators at the 1k–10k-node scale — the substrates
+for memory-bounded tiled evaluation (:mod:`repro.linalg.tiled`):
+
+* :func:`~repro.synth.generators.isp` — three-tier PoP/backbone/access
+  hierarchy with heavy-tailed Pareto capacities;
+* :func:`~repro.synth.generators.backbone` — flat calibrated-Waxman
+  geographic backbone.
+
+Registered as scenario topology kinds (``isp(pops=16)``,
+``backbone(2000)``) via :mod:`repro.synth.scenario_axes` and as the
+``scale`` bench target via :mod:`repro.synth.bench`; both hook in
+lazily through the spec/bench registries, so importing this package
+never pulls the scenario or bench layers eagerly.
+"""
+
+from repro.synth.generators import (
+    backbone,
+    isp,
+    isp_node_count,
+    validate_backbone_params,
+    validate_isp_params,
+)
+
+__all__ = [
+    "backbone",
+    "isp",
+    "isp_node_count",
+    "validate_backbone_params",
+    "validate_isp_params",
+]

@@ -1,0 +1,245 @@
+"""``repro bench scale`` — nodes-vs-seconds / nodes-vs-peak-MB curves.
+
+For a ladder of synthetic ISP networks (:func:`repro.synth.generators.isp`)
+this target measures the full end-to-end pipeline per compiled backend —
+generate → install routes → compile → batched evaluate — and records,
+per ladder point, wall time and tracemalloc peak memory for the
+memory-bounded *tiled* evaluation path next to the untiled reference
+(run only where the untiled operator is small enough to materialize).
+
+The artifact extends the common ``repro-bench/v1`` schema with:
+
+* ``curves`` — per-backend lists of ladder points (``nodes``, ``edges``,
+  ``pairs``, ``generate_seconds``, ``install_seconds``,
+  ``compile_seconds``, ``evaluate_seconds``, ``mem_peak_mb``,
+  ``within_budget``, and — where the untiled reference ran —
+  ``untiled_seconds``, ``untiled_mem_peak_mb``, ``max_abs_difference``);
+* ``memory_budget_mb`` — the tiling budget every tiled evaluation ran
+  under (``within_budget`` gates its peak against it);
+* the usual baseline-first ``backends`` block (untiled vs tiled at the
+  largest point where both ran) with ``mem_peak_kb`` fields.
+
+CI regenerates the smoke scale on both dependency legs and gates the
+committed full-scale ``BENCH_scale.json`` (≥ 1k-node point evaluated
+under budget, tiled-vs-untiled agreement ≤ 1e-9).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.routing import Routing
+from repro.demands.demand import Demand
+from repro.graphs.network import Network
+from repro.linalg._matrix import HAVE_SCIPY
+from repro.linalg.bench import environment_info, register_bench
+from repro.linalg.evaluator import build_evaluator
+from repro.synth.generators import isp
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import PeakMemory, Stopwatch, timing_entry
+
+#: Tolerance the tiled path must meet against the untiled reference
+#: (float summation order is the only difference).
+EQUIVALENCE_TOL = 1e-9
+
+#: Every tiled evaluation in this bench runs under this working-set
+#: budget; ``within_budget`` compares the measured peak against it.
+MEMORY_BUDGET_MB = 64.0
+
+#: Per-scale ladder: PoP counts (11 vertices per PoP with the default
+#: tier widths), demand-batch size, targets sampled per source, and the
+#: largest node count at which the *dense* untiled reference operator is
+#: still reasonable to materialize for the comparison leg.  ``full``
+#: tops out at 2002 vertices — the committed ≥ 1k-node baseline.
+_SCALE_CONFIG: Dict[str, Dict[str, Any]] = {
+    "smoke": {"pops": [4, 8], "num_demands": 4, "targets": 8, "untiled_max_dense": 10**6},
+    "small": {"pops": [8, 16, 32], "num_demands": 8, "targets": 16, "untiled_max_dense": 10**6},
+    "full": {"pops": [23, 45, 91, 182], "num_demands": 8, "targets": 32, "untiled_max_dense": 1100},
+}
+
+
+def _sample_pairs(
+    network: Network, rng, targets_per_source: int
+) -> List[Tuple[Any, Any]]:
+    """A demanded-pair set that grows linearly with the node count:
+    about ``n / 16`` sources, each sending to ``targets_per_source``
+    distinct other vertices."""
+    vertices = list(network.vertices)
+    n = len(vertices)
+    num_sources = max(4, min(n, n // 16))
+    sources = rng.choice(n, size=num_sources, replace=False)
+    pairs: List[Tuple[Any, Any]] = []
+    for source_index in sources:
+        others = rng.choice(n - 1, size=min(targets_per_source, n - 1), replace=False)
+        for offset in others:
+            target_index = int(offset) + (int(offset) >= int(source_index))
+            pairs.append((vertices[int(source_index)], vertices[target_index]))
+    return sorted(set(pairs))
+
+
+def _spf_routing(network: Network, pairs: Sequence[Tuple[Any, Any]]) -> Routing:
+    """Single shortest path per demanded pair, via one BFS tree per
+    distinct source — the demanded-pairs-only install that keeps the
+    offline phase linear instead of all-pairs quadratic."""
+    import networkx as nx
+
+    by_source: Dict[Any, List[Any]] = {}
+    for source, target in pairs:
+        by_source.setdefault(source, []).append(target)
+    mapping = {}
+    for source, targets in by_source.items():
+        paths = nx.single_source_shortest_path(network.graph, source)
+        for target in targets:
+            mapping[(source, target)] = paths[target]
+    return Routing.single_path(network, mapping)
+
+
+def _demand_batch(
+    pairs: Sequence[Tuple[Any, Any]], num_demands: int, rng
+) -> List[Demand]:
+    """``num_demands`` gravity-ish snapshots over one fixed pair set."""
+    demands = []
+    for _ in range(num_demands):
+        amounts = rng.random(len(pairs)) + 0.05
+        demands.append(Demand(dict(zip(pairs, amounts))))
+    return demands
+
+
+def _backends() -> List[str]:
+    return ["sparse", "dense"] if HAVE_SCIPY else ["dense"]
+
+
+def bench_scale(scale: str = "small", seed: int = 0) -> Dict[str, Any]:
+    """Scale-frontier curves: tiled vs untiled evaluation per backend."""
+    config = _SCALE_CONFIG[scale]
+    num_demands = int(config["num_demands"])
+
+    curves: Dict[str, List[Dict[str, Any]]] = {name: [] for name in _backends()}
+    summary: Dict[str, Dict[str, Any]] = {}
+    max_abs_difference = 0.0
+    largest: Optional[Network] = None
+    pairs_max = 0
+
+    for point_index, pops in enumerate(config["pops"]):
+        rng = ensure_rng(
+            np.random.default_rng(np.random.SeedSequence([int(seed), 2, int(pops)]))
+        )
+        with Stopwatch() as generate_watch:
+            network = isp(pops, seed=seed * 1000 + pops)
+        largest = network
+        sample_rng = ensure_rng(
+            np.random.default_rng(np.random.SeedSequence([int(seed), 3, int(pops)]))
+        )
+        pairs = _sample_pairs(network, sample_rng, int(config["targets"]))
+        pairs_max = max(pairs_max, len(pairs))
+        with Stopwatch() as install_watch:
+            routing = _spf_routing(network, pairs)
+        demands = _demand_batch(pairs, num_demands, rng)
+        is_last = point_index == len(config["pops"]) - 1
+
+        for backend in _backends():
+            # Peak memory spans compile + evaluate: the untiled leg's
+            # dominant allocation is the operator materialized at
+            # compile time, which an evaluate-only window would miss.
+            with PeakMemory() as tiled_mem:
+                with Stopwatch() as compile_watch:
+                    tiled = build_evaluator(
+                        routing, backend=backend, memory_budget_mb=MEMORY_BUDGET_MB
+                    )
+                with Stopwatch() as tiled_watch:
+                    tiled_congestions = tiled.congestions(demands)
+            mem_peak_mb = tiled_mem.peak_kb / 1024.0
+            point: Dict[str, Any] = {
+                "nodes": network.num_vertices,
+                "edges": network.num_edges,
+                "pairs": len(pairs),
+                "generate_seconds": generate_watch.elapsed,
+                "install_seconds": install_watch.elapsed,
+                "compile_seconds": compile_watch.elapsed,
+                "evaluate_seconds": tiled_watch.elapsed,
+                "mem_peak_mb": mem_peak_mb,
+                "within_budget": bool(mem_peak_mb <= MEMORY_BUDGET_MB),
+            }
+
+            # The untiled reference materializes the full pair × edge
+            # operator — always fine in CSR, only at the smaller ladder
+            # points in the dense fallback.
+            run_untiled = backend == "sparse" or network.num_vertices <= int(
+                config["untiled_max_dense"]
+            )
+            if run_untiled:
+                with PeakMemory() as untiled_mem:
+                    untiled = build_evaluator(routing, backend=backend)
+                    with Stopwatch() as untiled_watch:
+                        untiled_congestions = untiled.congestions(demands)
+                difference = float(
+                    np.max(np.abs(tiled_congestions - untiled_congestions), initial=0.0)
+                )
+                point["untiled_seconds"] = untiled_watch.elapsed
+                point["untiled_mem_peak_mb"] = untiled_mem.peak_kb / 1024.0
+                point["max_abs_difference"] = difference
+                max_abs_difference = max(max_abs_difference, difference)
+                if is_last or backend not in summary:
+                    summary[backend] = {
+                        "untiled": timing_entry(
+                            untiled_watch.elapsed,
+                            count=num_demands,
+                            rate_key="demands_per_sec",
+                            mem_peak_kb=untiled_mem.peak_kb,
+                        ),
+                        "tiled": timing_entry(
+                            tiled_watch.elapsed,
+                            count=num_demands,
+                            rate_key="demands_per_sec",
+                            mem_peak_kb=tiled_mem.peak_kb,
+                            compile_seconds=compile_watch.elapsed,
+                        ),
+                        "nodes": network.num_vertices,
+                    }
+            curves[backend].append(point)
+
+    # Baseline-first backends block from the preferred backend's largest
+    # point where both legs ran (sparse when available, dense otherwise).
+    preferred = summary.get("sparse") or summary["dense"]
+    backends_block = {
+        "untiled": {"backend": "untiled", **preferred["untiled"]},
+        "tiled": {"backend": "tiled", **preferred["tiled"]},
+    }
+
+    assert largest is not None
+    return {
+        "schema": "repro-bench/v1",
+        "name": "scale",
+        "scale": scale,
+        "seed": seed,
+        "network": {
+            "name": largest.name,
+            "n": largest.num_vertices,
+            "m": largest.num_edges,
+        },
+        "workload": {
+            "num_networks": len(config["pops"]),
+            "node_counts": [point["nodes"] for point in curves[_backends()[0]]],
+            "num_demands": num_demands,
+            "pairs_max": pairs_max,
+        },
+        "memory_budget_mb": MEMORY_BUDGET_MB,
+        "within_budget": bool(
+            all(point["within_budget"] for points in curves.values() for point in points)
+        ),
+        "curves": curves,
+        "backends": backends_block,
+        "max_abs_difference": max_abs_difference,
+        "environment": environment_info(),
+    }
+
+
+register_bench(
+    "scale",
+    bench_scale,
+    "scale frontier: nodes-vs-seconds/peak-MB curves, tiled vs untiled",
+)
+
+__all__ = ["EQUIVALENCE_TOL", "MEMORY_BUDGET_MB", "bench_scale"]

@@ -1,0 +1,107 @@
+"""Scenario-axis registration for the scale layer.
+
+Imported lazily by :mod:`repro.scenarios.spec` (see
+``_EXTENSION_AXIS_MODULES``); importing it registers the synthetic
+large-scale topology kinds:
+
+* ``isp`` — three-tier PoP/backbone/access hierarchy, e.g.
+  ``isp(pops=16)`` or ``isp(16, access_per_pop=4, seed=3)``.  A bare
+  positional integer is the PoP count;
+* ``backbone`` — flat calibrated-Waxman backbone, e.g.
+  ``backbone(2000)`` (the positional integer is the node count).
+
+Both kinds consume the per-topology generator the runner derives from
+the suite seed, so sweep artifacts stay bit-identical for any worker
+count; an explicit ``seed=`` parameter pins the network independently
+of the suite seed instead.  Parameter validation runs at *spec-parse*
+time through the generators' own validators — a non-positive PoP count
+or capacity exponent raises :class:`~repro.exceptions.GraphError`
+before any runner or worker starts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.graphs.network import Network
+from repro.scenarios.spec import ScenarioError, register_topology_kind
+from repro.synth.generators import (
+    backbone,
+    isp,
+    validate_backbone_params,
+    validate_isp_params,
+)
+
+_ISP_PARAMS = {
+    "pops",
+    "agg_per_pop",
+    "access_per_pop",
+    "avg_pop_degree",
+    "beta",
+    "capacity_exponent",
+    "seed",
+}
+_BACKBONE_PARAMS = {"avg_degree", "beta", "capacity_exponent", "seed"}
+
+
+def _reject_unknown(kind: str, params: Dict[str, Any], known: set) -> None:
+    extra = sorted(set(params) - known)
+    if extra:
+        raise ScenarioError(
+            f"unknown {kind} topology parameters {extra}; accepted: {sorted(known)}"
+        )
+
+
+def _isp_arguments(size: Optional[int], params: Dict[str, Any]) -> Dict[str, Any]:
+    arguments = dict(params)
+    if size is not None:
+        if "pops" in arguments:
+            raise ScenarioError(
+                "isp topology got both a positional size and pops=; use one"
+            )
+        arguments["pops"] = size
+    if "pops" not in arguments:
+        raise ScenarioError("isp topology needs a PoP count, e.g. isp(pops=16)")
+    return arguments
+
+
+def _validate_isp(size: Optional[int], params: Dict[str, Any]) -> None:
+    _reject_unknown("isp", params, _ISP_PARAMS)
+    arguments = _isp_arguments(size, params)
+    arguments.pop("seed", None)
+    validate_isp_params(**arguments)
+
+
+def _build_isp(size: Optional[int], params: Dict[str, Any], rng) -> Network:
+    return isp(rng=rng, **_isp_arguments(size, params))
+
+
+def _validate_backbone(size: Optional[int], params: Dict[str, Any]) -> None:
+    _reject_unknown("backbone", params, _BACKBONE_PARAMS)
+    if size is None:
+        raise ScenarioError("backbone topology needs a node count, e.g. backbone(2000)")
+    arguments = dict(params)
+    arguments.pop("seed", None)
+    validate_backbone_params(size, **arguments)
+
+
+def _build_backbone(size: Optional[int], params: Dict[str, Any], rng) -> Network:
+    return backbone(size, rng=rng, **params)
+
+
+# overwrite=True keeps registration idempotent: if this module's import
+# fails partway once, the spec layer retries it on the next axis use.
+register_topology_kind(
+    "isp",
+    _build_isp,
+    "synthetic 3-tier PoP/backbone/access ISP: isp(pops=16)",
+    validate=_validate_isp,
+    overwrite=True,
+)
+register_topology_kind(
+    "backbone",
+    _build_backbone,
+    "synthetic calibrated-Waxman backbone: backbone(2000)",
+    validate=_validate_backbone,
+    overwrite=True,
+)

@@ -9,8 +9,9 @@ via :class:`Stopwatch` for one-off measurements or via
 from __future__ import annotations
 
 import time
+import tracemalloc
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 class Stopwatch:
@@ -107,10 +108,51 @@ class _Section:
         self._timer.record(self._name, time.perf_counter() - self._start)
 
 
+class PeakMemory:
+    """Context manager sampling tracemalloc peak allocation over a block.
+
+    The same primitive the tracing spans use (:mod:`repro.obs` marks
+    memory spans with ``tracemalloc.reset_peak()`` on entry), packaged
+    for the bench targets: ``peak_kb`` is the block's allocation
+    high-water mark *above the entry baseline*, which is exactly what a
+    memory budget bounds::
+
+        with PeakMemory() as mem, Stopwatch() as watch:
+            evaluate()
+        entry = timing_entry(watch.elapsed, mem_peak_kb=mem.peak_kb)
+
+    Tracemalloc is started if not already running (and stopped again on
+    exit if this instance started it).  numpy routes its allocations
+    through ``PyTraceMalloc_Track``, so array workloads are visible.
+    ``peak_kb`` is ``None`` until the block exits.
+    """
+
+    def __init__(self) -> None:
+        self.peak_kb: Optional[float] = None
+        self._started_tracing = False
+        self._baseline = 0
+
+    def __enter__(self) -> "PeakMemory":
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracing = True
+        tracemalloc.reset_peak()
+        self._baseline = tracemalloc.get_traced_memory()[0]
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        peak = tracemalloc.get_traced_memory()[1]
+        self.peak_kb = max(0.0, (peak - self._baseline) / 1024.0)
+        if self._started_tracing:
+            tracemalloc.stop()
+            self._started_tracing = False
+
+
 def timing_entry(
     seconds: float,
     count: int | None = None,
     rate_key: str | None = None,
+    mem_peak_kb: float | None = None,
     **extra: object,
 ) -> Dict[str, object]:
     """Build one ``backends``-style timing record for a bench artifact.
@@ -124,16 +166,21 @@ def timing_entry(
         timing_entry(watch.elapsed, count=num_steps, rate_key="steps_per_sec")
         # -> {"seconds": ..., "steps_per_sec": ...}
 
-    ``extra`` keys are copied through verbatim (after the rate, matching
-    the historical key order of the committed artifacts).
+    ``mem_peak_kb`` (typically from :class:`PeakMemory`) adds the peak
+    tracemalloc allocation of the measured block, so any target can
+    report memory with the same primitive the obs spans use.  ``extra``
+    keys are copied through verbatim (after the rate, matching the
+    historical key order of the committed artifacts).
     """
     entry: Dict[str, object] = {"seconds": seconds}
     if count is not None:
         if rate_key is None:
             raise ValueError("timing_entry needs rate_key when count is given")
         entry[rate_key] = count / seconds if seconds > 0 else None
+    if mem_peak_kb is not None:
+        entry["mem_peak_kb"] = float(mem_peak_kb)
     entry.update(extra)
     return entry
 
 
-__all__ = ["Stopwatch", "Timer", "timing_entry"]
+__all__ = ["PeakMemory", "Stopwatch", "Timer", "timing_entry"]

@@ -1,0 +1,157 @@
+"""Tests for the scale layer's synthetic generators (repro.synth).
+
+The load-bearing guarantees: bit-identical networks from one seed in any
+process or worker count, typed GraphError on invalid parameters (at call
+time and at spec-parse time), and ISP-shaped structure (connected,
+three tiers, heavy-tailed capacities).
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.scenarios import (
+    DemandSpec,
+    FailureSpec,
+    ScenarioError,
+    ScenarioSuite,
+    TopologySpec,
+    run_suite,
+)
+from repro.synth import (
+    backbone,
+    isp,
+    isp_node_count,
+    validate_backbone_params,
+    validate_isp_params,
+)
+
+
+def _edge_signature(network):
+    return sorted(
+        (u, v, data["capacity"], data.get("tier"))
+        for u, v, data in network.graph.edges(data=True)
+    )
+
+
+# --------------------------------------------------------------------- #
+# Determinism
+# --------------------------------------------------------------------- #
+def test_isp_seed_is_bit_identical_and_rng_independent():
+    first = isp(6, seed=3)
+    second = isp(6, seed=3, rng=np.random.default_rng(99))
+    assert _edge_signature(first) == _edge_signature(second)
+    assert _edge_signature(first) != _edge_signature(isp(6, seed=4))
+
+
+def test_backbone_seed_is_bit_identical_and_rng_independent():
+    first = backbone(64, seed=5)
+    second = backbone(64, seed=5, rng=np.random.default_rng(1))
+    assert _edge_signature(first) == _edge_signature(second)
+    assert _edge_signature(first) != _edge_signature(backbone(64, seed=6))
+
+
+def test_isp_rng_stream_is_deterministic():
+    # Without seed=, the network is a pure function of the rng stream.
+    first = isp(4, rng=np.random.default_rng(7))
+    second = isp(4, rng=np.random.default_rng(7))
+    assert _edge_signature(first) == _edge_signature(second)
+
+
+# --------------------------------------------------------------------- #
+# Structure
+# --------------------------------------------------------------------- #
+def test_isp_structure_counts_tiers_and_connectivity():
+    pops, agg, access = 8, 2, 4
+    network = isp(pops, agg_per_pop=agg, access_per_pop=access, seed=0)
+    assert network.num_vertices == isp_node_count(pops, agg, access)
+    assert nx.is_connected(network.graph)
+    tiers = {data["tier"] for _, _, data in network.graph.edges(data=True)}
+    assert tiers == {"backbone", "aggregation", "access"}
+    # Dual-homing: every aggregation and access router has degree >= 2.
+    for vertex in range(pops, network.num_vertices):
+        assert network.graph.degree(vertex) >= 2
+    assert all(
+        data["capacity"] > 0 for _, _, data in network.graph.edges(data=True)
+    )
+
+
+def test_backbone_connected_with_min_degree_two():
+    network = backbone(200, seed=1)
+    assert network.num_vertices == 200
+    assert nx.is_connected(network.graph)
+    degrees = [d for _, d in network.graph.degree()]
+    assert min(degrees) >= 2
+    # Calibrated wiring: the mean degree tracks the avg_degree target.
+    assert 3.0 <= sum(degrees) / len(degrees) <= 5.5
+
+
+def test_single_pop_isp_has_no_backbone_edges():
+    network = isp(1, agg_per_pop=2, access_per_pop=3, seed=0)
+    assert network.num_vertices == isp_node_count(1, 2, 3)
+    assert nx.is_connected(network.graph)
+    tiers = {data["tier"] for _, _, data in network.graph.edges(data=True)}
+    assert "backbone" not in tiers
+
+
+# --------------------------------------------------------------------- #
+# Validation (typed GraphError, call time and spec-parse time)
+# --------------------------------------------------------------------- #
+def test_invalid_generator_params_raise_graph_error():
+    with pytest.raises(GraphError, match="pops >= 1"):
+        isp(0)
+    with pytest.raises(GraphError, match="capacity exponent"):
+        isp(4, capacity_exponent=0.0)
+    with pytest.raises(GraphError, match="n >= 3"):
+        backbone(2)
+    with pytest.raises(GraphError, match="capacity exponent"):
+        backbone(16, capacity_exponent=-1.0)
+    with pytest.raises(GraphError):
+        validate_isp_params(4, agg_per_pop=0)
+    with pytest.raises(GraphError):
+        validate_backbone_params(16, beta=0.0)
+
+
+def test_spec_parse_rejects_invalid_params_with_graph_error():
+    with pytest.raises(GraphError, match="pops >= 1"):
+        TopologySpec.from_string("isp(pops=0)")
+    with pytest.raises(GraphError, match="capacity exponent"):
+        TopologySpec.from_string("backbone(64, capacity_exponent=0)")
+
+
+def test_spec_parse_errors_list_registered_synth_kinds():
+    with pytest.raises(ScenarioError, match="isp") as excinfo:
+        TopologySpec.from_string("nosuchkind(4)")
+    assert "backbone" in str(excinfo.value)
+    with pytest.raises(ScenarioError, match="accepted"):
+        TopologySpec.from_string("isp(4, bogus_knob=1)")
+    with pytest.raises(ScenarioError, match="PoP count"):
+        TopologySpec.from_string("isp")
+    with pytest.raises(ScenarioError, match="both"):
+        TopologySpec.from_string("isp(4, pops=8)")
+
+
+def test_spec_builds_the_seeded_network():
+    spec = TopologySpec.from_string("isp(pops=4, seed=11)")
+    built = spec.build(rng=0)
+    assert _edge_signature(built) == _edge_signature(isp(4, seed=11))
+
+
+# --------------------------------------------------------------------- #
+# Sweep integration: worker-count bit-identity over an isp topology
+# --------------------------------------------------------------------- #
+def test_isp_suite_is_bit_identical_across_workers():
+    suite = ScenarioSuite(
+        name="synth-tiny",
+        topologies=[TopologySpec("isp", 2, params=(("access_per_pop", 2),))],
+        demands=[DemandSpec("uniform"), DemandSpec("permutation")],
+        failures=[FailureSpec("none"), FailureSpec("k-edge", params=(("k", 1),))],
+        schemes=("ksp(k=2)", "spf"),
+        num_snapshots=1,
+        seed=7,
+    )
+    serial = run_suite(suite, workers=1)
+    parallel = run_suite(suite, workers=4)
+    assert serial.to_json() == parallel.to_json()
+    assert len(serial.cells) == suite.num_cells()

@@ -41,6 +41,9 @@ def _workload_summary(workload) -> str:
     if "buckets" in workload:
         return (f"{workload['num_topologies']} topologies x "
                 f"{len(workload['buckets'])} bucket sizes")
+    if "node_counts" in workload:
+        counts = workload["node_counts"]
+        return f"{counts[0]}-{counts[-1]} nodes x {workload['num_demands']} demands"
     summary = f"{workload['num_demands']} demands"
     if "num_events" in workload:
         summary += f" x {workload['num_events']} failures"
@@ -71,6 +74,16 @@ def render(artifacts) -> str:
             # Gap-style payloads (e.g. ``ecmp``) compare a fractional
             # reference against a realized leg, not slow-vs-fast.
             figure = f"{payload['max_gap']:.3f}x max gap"
+        elif "curves" in payload:
+            # Scale-curve payloads compare untiled vs memory-bounded
+            # tiled evaluation; the figure is the largest tiled peak
+            # against the configured budget.
+            peak = max(
+                point["mem_peak_mb"]
+                for points in payload["curves"].values()
+                for point in points
+            )
+            figure = f"{peak:.1f} / {payload['memory_budget_mb']:.0f} MB peak"
         else:
             figure = f"{payload['overhead_enabled_pct']:+.1f}% overhead"
         lines.append(
